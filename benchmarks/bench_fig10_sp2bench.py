@@ -1,0 +1,80 @@
+"""Fig. 10: SP2Bench original vs gMark-generated queries on SP.
+
+The paper compares the evaluation times of three queries from the
+original SP2Bench load (one per selectivity class) against three
+gMark-generated queries of the same shape, size, and selectivity on
+the SP encoding: both sides must show the same asymptotic behaviour
+per class (constant flat, linear proportional, quadratic steepest).
+
+Substitution note (DESIGN.md §3): the "org" side is hand-translated
+SP2Bench-style queries over the gMark SP schema — the SP2Bench C++
+generator itself is not reproducible here; the figure's *claim* (class-
+wise matching asymptotics) is preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ENGINE_SIZES, publish
+from repro.analysis.experiments import time_query
+from repro.analysis.reporting import format_series
+from repro.queries.generator import WorkloadGenerator
+from repro.queries.parser import parse_query
+from repro.queries.shapes import QueryShape
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.scenarios import sp_schema
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.types import SelectivityClass
+
+#: Hand-translated SP2Bench-style queries, one per class.
+ORG_QUERIES = {
+    SelectivityClass.CONSTANT: parse_query(
+        "(?x, ?y) <- (?x, inSeries-.inSeries, ?y)"  # venue series pairs
+    ),
+    SelectivityClass.LINEAR: parse_query(
+        "(?x, ?y) <- (?x, creator, ?y)"  # documents and their authors
+    ),
+    SelectivityClass.QUADRATIC: parse_query(
+        "(?x, ?y) <- (?x, creator.creator-, ?y)"  # co-authored documents
+    ),
+}
+
+
+def test_fig10(benchmark, graph_cache):
+    schema = sp_schema()
+    config = GraphConfiguration(ENGINE_SIZES[0], schema)
+    generator = WorkloadGenerator(
+        WorkloadConfiguration(
+            config,
+            size=3,
+            query_size=QuerySize(conjuncts=1, disjuncts=1, length=(1, 2)),
+        ),
+        seed=23,
+    )
+
+    def run():
+        series: dict[str, list] = {}
+        for cls, org_query in ORG_QUERIES.items():
+            generated = generator.generate_query(QueryShape.CHAIN, cls)
+            for tag, query in (("org", org_query), ("gMark", generated.query)):
+                key = f"{cls.value[:5]}-{tag}"
+                series[key] = []
+                for n in ENGINE_SIZES:
+                    graph = graph_cache(schema, n)
+                    result = time_query(
+                        query, graph, "datalog", budget_seconds=30, warm_runs=2
+                    )
+                    series[key].append(result.display)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_series(
+        "graph size", ENGINE_SIZES, series,
+        title=(
+            "Fig. 10 (SP): evaluation seconds of SP2Bench-style originals "
+            "vs gMark-generated queries, per selectivity class"
+        ),
+    )
+    publish("fig10_sp2bench", text)

@@ -1,0 +1,65 @@
+"""Fig. 11: estimated vs theoretical selectivity curves on Bib.
+
+For each Bib stress workload (Len, Con, Dis, Rec) the paper plots, for
+one constant (Q1), one linear (Q2), and one quadratic (Q3) query, the
+measured result counts |Q| against the fitted theoretical curve
+β·n^α (|E|).  The expected shape: the two curves overlap closely, Q3
+grows fastest, Q2 linearly, Q1 stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import QUERIES_PER_CLASS, SELECTIVITY_SIZES, publish
+from repro.analysis.experiments import measure_selectivities, stress_workload
+from repro.analysis.reporting import format_series
+from repro.scenarios import bib_schema
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.types import SelectivityClass
+
+_GRAPHS: dict = {}
+
+
+@pytest.mark.parametrize("workload_name", ["Len", "Con", "Dis", "Rec"])
+def test_fig11_curves(benchmark, workload_name):
+    schema = bib_schema()
+    config = GraphConfiguration(SELECTIVITY_SIZES[0], schema)
+
+    def run():
+        workload = stress_workload(
+            workload_name, config, queries_per_class=QUERIES_PER_CLASS, seed=55
+        )
+        measurements = measure_selectivities(
+            workload, schema, SELECTIVITY_SIZES, seed=7,
+            budget_seconds=20.0, graphs=_GRAPHS,
+        )
+        series: dict[str, list] = {}
+        for label, cls in (
+            ("Q1", SelectivityClass.CONSTANT),
+            ("Q2", SelectivityClass.LINEAR),
+            ("Q3", SelectivityClass.QUADRATIC),
+        ):
+            of_class = [
+                m for m in measurements
+                if m.generated.selectivity is cls and len(m.counts) == len(SELECTIVITY_SIZES)
+            ]
+            if not of_class:
+                continue
+            # The paper plots one representative query per class.
+            representative = of_class[0]
+            series[f"{label}-|Q|"] = representative.counts
+            series[f"{label}-|E|"] = [
+                round(representative.fit.predict(n)) for n in representative.sizes
+            ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_series(
+        "graph size", SELECTIVITY_SIZES, series,
+        title=(
+            f"Fig. 11 (Bib-{workload_name}): measured |Q| vs fitted |E| "
+            "for Q1 (constant), Q2 (linear), Q3 (quadratic)"
+        ),
+    )
+    publish(f"fig11_bib_{workload_name.lower()}", text)

@@ -1,0 +1,83 @@
+"""Fig. 12: engine execution times across diverse non-recursive workloads.
+
+For the Len/Dis/Con workloads on Bib, the paper plots the per-engine
+average execution time of the 10 constant, linear, and quadratic
+queries at sizes 2K–16K.  Expected shape:
+
+* constant and linear queries run in the same order of magnitude;
+  quadratic queries are roughly an order slower (Fig. 12c);
+* P (vectorised relational joins) leads on constant queries and on
+  linear queries at small sizes;
+* S (per-source BFS) catches up and overtakes on quadratic queries and
+  larger linear instances;
+* D pays full materialisation everywhere, blurring class differences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ENGINE_SIZES, QUERIES_PER_CLASS, publish
+from repro.analysis.experiments import stress_workload, time_query
+from repro.analysis.reporting import format_table
+from repro.scenarios import bib_schema
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.types import SelectivityClass
+
+ENGINES = [("P", "postgres"), ("G", "cypher"), ("S", "sparql"), ("D", "datalog")]
+WORKLOADS = ["Len", "Dis", "Con"]
+BUDGET_SECONDS = 15.0
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [SelectivityClass.CONSTANT, SelectivityClass.LINEAR, SelectivityClass.QUADRATIC],
+)
+def test_fig12(benchmark, graph_cache, cls):
+    schema = bib_schema()
+    config = GraphConfiguration(ENGINE_SIZES[0], schema)
+
+    def run():
+        rows = []
+        for workload_name in WORKLOADS:
+            workload = stress_workload(
+                workload_name, config,
+                queries_per_class=QUERIES_PER_CLASS, seed=77,
+            )
+            queries = [
+                g.query for g in workload.by_selectivity(cls)
+            ]
+            for letter, engine in ENGINES:
+                row = [f"{workload_name}/{letter}"]
+                for n in ENGINE_SIZES:
+                    graph = graph_cache(schema, n)
+                    times, failures = [], 0
+                    for query in queries:
+                        result = time_query(
+                            query, graph, engine,
+                            budget_seconds=BUDGET_SECONDS, warm_runs=2,
+                        )
+                        if result.failed:
+                            failures += 1
+                        else:
+                            times.append(result.seconds)
+                    if times:
+                        cell = f"{sum(times) / len(times):.3f}"
+                        if failures:
+                            cell += f" ({failures}F)"
+                    else:
+                        cell = "-"
+                    row.append(cell)
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["workload/system"] + [f"{n}" for n in ENGINE_SIZES],
+        rows,
+        title=(
+            f"Fig. 12 ({cls.value} queries): mean execution seconds per "
+            f"engine (Bib, {QUERIES_PER_CLASS} queries/class; nF = n failures)"
+        ),
+    )
+    publish(f"fig12_{cls.value}", table)

@@ -1,0 +1,52 @@
+"""Table 3: graph generation time per schema and size.
+
+The paper generates 100K–100M-node instances with the C++ generator and
+reports wall times; the headline shapes are (i) near-linear scaling in
+the output size for every schema and (ii) WD orders of magnitude slower
+than Bib at equal node counts because its schema is far denser.
+
+This bench streams edges exactly like the production generator (no
+in-memory graph) at pure-Python scale (default 10K–1M nodes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import GENERATION_SIZES, publish
+from repro.generation.generator import generate_edge_stream
+from repro.scenarios import SCENARIOS, scenario_schema
+from repro.schema.config import GraphConfiguration
+
+RESULTS: dict[str, list[str]] = {}
+
+
+@pytest.mark.parametrize("scenario", ["bib", "lsn", "wd", "sp"])
+def test_table3_generation(benchmark, scenario):
+    schema = scenario_schema(scenario)
+
+    def generate_all():
+        row = [scenario.upper()]
+        for n in GENERATION_SIZES:
+            config = GraphConfiguration(n, schema)
+            started = time.perf_counter()
+            edges = 0
+            for _, sources, _ in generate_edge_stream(config, seed=3):
+                edges += len(sources)
+            elapsed = time.perf_counter() - started
+            row.append(f"{elapsed:.3f}s ({edges / 1e6:.2f}M edges)")
+        return row
+
+    row = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    RESULTS[scenario] = row
+    if len(RESULTS) == 4:
+        from repro.analysis.reporting import format_table
+
+        table = format_table(
+            ["schema"] + [f"{n:,} nodes" for n in GENERATION_SIZES],
+            [RESULTS[s] for s in ("bib", "lsn", "wd", "sp")],
+            title="Table 3: graph generation time (streamed, no dedup)",
+        )
+        publish("table3_generation", table)

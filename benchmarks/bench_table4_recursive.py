@@ -1,0 +1,76 @@
+"""Table 4: execution time of recursive queries per engine and size.
+
+The paper's finding: recursion breaks most systems.  P (PostgreSQL)
+answers the constant query on small sizes only; S (SPARQL) only the
+smallest; G (openCypher) effectively fails everywhere (its approximated
+semantics return diverging/empty answers); only D (Datalog) completes
+both queries at every size, with gently growing times.
+
+Query 1 (constant selectivity): a closure looped through the fixed city
+type.  Query 2 (quadratic): the co-authorship closure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ENGINE_SIZES, publish
+from repro.analysis.experiments import time_query
+from repro.analysis.reporting import format_table
+from repro.queries.parser import parse_query
+from repro.scenarios import bib_schema
+
+#: The engine order of Table 4.
+ENGINE_ROWS = [("P", "postgres"), ("G", "cypher"), ("S", "sparql"), ("D", "datalog")]
+
+QUERY_1 = parse_query("(?x, ?y) <- (?x, (heldIn-.heldIn)*, ?y)")
+QUERY_2 = parse_query("(?x, ?y) <- (?x, (authors.authors-)*, ?y)")
+
+#: Budget per evaluation; exceeding it is recorded as "-", mirroring the
+#: paper's manually-terminated runs.
+BUDGET_SECONDS = 15.0
+
+
+@pytest.mark.parametrize("letter,engine", ENGINE_ROWS)
+def test_table4_recursive(benchmark, graph_cache, letter, engine):
+    schema = bib_schema()
+
+    def run():
+        row1, row2 = [letter], [letter]
+        for n in ENGINE_SIZES:
+            graph = graph_cache(schema, n)
+            row1.append(
+                time_query(QUERY_1, graph, engine,
+                           budget_seconds=BUDGET_SECONDS, warm_runs=2).display
+            )
+        for n in ENGINE_SIZES:
+            graph = graph_cache(schema, n)
+            row2.append(
+                time_query(QUERY_2, graph, engine,
+                           budget_seconds=BUDGET_SECONDS, warm_runs=2).display
+            )
+        return row1, row2
+
+    row1, row2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[letter] = (row1, row2)
+    if len(_RESULTS) == len(ENGINE_ROWS):
+        headers = (
+            ["Syst."]
+            + [f"Q1 {n}" for n in ENGINE_SIZES]
+        )
+        rows1 = [_RESULTS[l][0] for l, _ in ENGINE_ROWS]
+        rows2 = [_RESULTS[l][1] for l, _ in ENGINE_ROWS]
+        table = (
+            format_table(headers, rows1,
+                         title="Table 4, Query 1 (constant, recursive): seconds")
+            + "\n\n"
+            + format_table(["Syst."] + [f"Q2 {n}" for n in ENGINE_SIZES], rows2,
+                           title="Table 4, Query 2 (quadratic, recursive): seconds")
+            + "\n\nNote: G evaluates the §7.1 workaround (no inverse/concatenation"
+            "\nunder Kleene star) and returns diverging answers; the paper records"
+            "\nthose runs as failures ('-')."
+        )
+        publish("table4_recursive", table)
+
+
+_RESULTS: dict[str, tuple[list[str], list[str]]] = {}

@@ -1,0 +1,66 @@
+"""§6.2 scalability claims: workload generation and translation speed.
+
+The paper reports that gMark generates 1000-query workloads in about a
+second for Bib/LSN/SP and ~10s for the richer WD scenario, and that
+translating 1000 queries into all four concrete syntaxes takes about a
+tenth of a second.  The shape to preserve: WD markedly slower than the
+other three to generate, and translation orders of magnitude cheaper
+than generation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.analysis.reporting import format_table
+from repro.queries.generator import generate_workload
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.scenarios import scenario_schema
+from repro.schema.config import GraphConfiguration
+from repro.translate import TRANSLATORS
+
+WORKLOAD_SIZE = 1000
+
+_RESULTS: dict[str, list[str]] = {}
+
+
+@pytest.mark.parametrize("scenario", ["bib", "lsn", "sp", "wd"])
+def test_workload_generation_scalability(benchmark, scenario):
+    schema = scenario_schema(scenario)
+    configuration = WorkloadConfiguration(
+        GraphConfiguration(10_000, schema),
+        size=WORKLOAD_SIZE,
+        recursion_probability=0.2,
+        query_size=QuerySize(conjuncts=(1, 3), disjuncts=(1, 2), length=(1, 4)),
+    )
+
+    def run():
+        started = time.perf_counter()
+        workload = generate_workload(configuration, seed=5)
+        generation_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for translator in TRANSLATORS.values():
+            translator.translate_workload(workload)
+        translation_seconds = time.perf_counter() - started
+        return generation_seconds, translation_seconds
+
+    generation_seconds, translation_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _RESULTS[scenario] = [
+        scenario.upper(),
+        f"{generation_seconds:.2f}s",
+        f"{translation_seconds:.2f}s",
+    ]
+    if len(_RESULTS) == 4:
+        table = format_table(
+            ["schema", f"generate {WORKLOAD_SIZE} queries", "translate ×4 syntaxes"],
+            [_RESULTS[s] for s in ("bib", "lsn", "sp", "wd")],
+            title="§6.2 workload generation / translation scalability",
+        )
+        publish("workload_scalability", table)

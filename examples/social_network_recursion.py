@@ -1,0 +1,76 @@
+"""Recursive queries on the LDBC-style social network (LSN scenario).
+
+gMark's headline differentiator (§1, §7): it is the first generator to
+produce *recursive* path-query workloads — and those queries break most
+engines.  This example generates the LSN social graph, builds a
+recursive workload, and runs it across all four bundled engines with a
+time budget, reporting failures the way the paper's Table 4 does.
+
+Run:  python examples/social_network_recursion.py
+"""
+
+from repro import (
+    GraphConfiguration,
+    QuerySize,
+    WorkloadConfiguration,
+    generate_graph,
+    generate_workload,
+    lsn_schema,
+    parse_query,
+)
+from repro.analysis.experiments import time_query
+from repro.analysis.reporting import format_table
+from repro.engine import count_distinct
+
+BUDGET_SECONDS = 10.0
+
+
+def main() -> None:
+    schema = lsn_schema()
+    config = GraphConfiguration(4_000, schema)
+    graph = generate_graph(config, seed=11)
+    print(f"social network: {graph.statistics()}")
+
+    # The paper's running example: the transitive closure of `knows`
+    # (quadratic — pairs connected through hub users).
+    closure = parse_query("(?x, ?y) <- (?x, (knows)*, ?y)")
+    reachable = count_distinct(closure, graph, "datalog")
+    print(f"(knows)* connects {reachable} ordered pairs\n")
+
+    # A generated recursive workload (p_r = 0.8).
+    workload = generate_workload(
+        WorkloadConfiguration(
+            config,
+            size=6,
+            recursion_probability=0.8,
+            query_size=QuerySize(conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 3)),
+        ),
+        seed=11,
+    )
+    recursive = [g for g in workload if g.query.has_recursion]
+    print(f"workload: {len(workload)} queries, {len(recursive)} recursive\n")
+
+    rows = []
+    for index, generated in enumerate(workload):
+        row = [f"q{index}{'*' if generated.query.has_recursion else ''}"]
+        for engine in ("postgres", "cypher", "sparql", "datalog"):
+            result = time_query(
+                generated.query, graph, engine,
+                budget_seconds=BUDGET_SECONDS, warm_runs=2,
+            )
+            row.append(result.display)
+        rows.append(row)
+
+    print(format_table(
+        ["query", "P", "G", "S", "D"],
+        rows,
+        title=f"execution seconds per engine ('-' = failed within "
+              f"{BUDGET_SECONDS:.0f}s budget; * = recursive)",
+    ))
+    print("\nAs in the paper's Table 4: the Datalog-style engine is the "
+          "most dependable on recursion,\nwhile relational recursion "
+          "degrades and the openCypher approximation diverges.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""gMark reproduction: schema-driven generation of graphs and queries.
+
+Public API quickstart::
+
+    from repro import (
+        GraphConfiguration, generate_graph, generate_workload,
+        WorkloadConfiguration, bib_schema,
+    )
+
+    config = GraphConfiguration(10_000, bib_schema())
+    graph = generate_graph(config, seed=42)
+    workload = generate_workload(WorkloadConfiguration(config), seed=42)
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    EngineBudgetExceeded,
+    EngineCapabilityError,
+    EngineError,
+    GenerationError,
+    GmarkError,
+    QuerySyntaxError,
+    SchemaError,
+    TranslationError,
+    WorkloadError,
+)
+from repro.schema import (
+    GaussianDistribution,
+    GraphConfiguration,
+    GraphSchema,
+    NON_SPECIFIED,
+    UniformDistribution,
+    ZipfianDistribution,
+    fixed,
+    proportion,
+    validate_schema,
+)
+from repro.generation import (
+    LabeledGraph,
+    generate_graph,
+    write_edge_list,
+    write_ntriples,
+)
+from repro.queries import (
+    Query,
+    QueryShape,
+    QuerySize,
+    Workload,
+    WorkloadConfiguration,
+    generate_workload,
+    parse_query,
+    parse_regex,
+)
+from repro.selectivity import SelectivityClass, SelectivityEstimator
+from repro.scenarios import bib_schema, lsn_schema, sp_schema, wd_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GmarkError",
+    "ConfigurationError",
+    "SchemaError",
+    "WorkloadError",
+    "GenerationError",
+    "QuerySyntaxError",
+    "TranslationError",
+    "EngineError",
+    "EngineCapabilityError",
+    "EngineBudgetExceeded",
+    "GraphSchema",
+    "GraphConfiguration",
+    "UniformDistribution",
+    "GaussianDistribution",
+    "ZipfianDistribution",
+    "NON_SPECIFIED",
+    "fixed",
+    "proportion",
+    "validate_schema",
+    "LabeledGraph",
+    "generate_graph",
+    "write_ntriples",
+    "write_edge_list",
+    "Query",
+    "QueryShape",
+    "QuerySize",
+    "Workload",
+    "WorkloadConfiguration",
+    "generate_workload",
+    "parse_query",
+    "parse_regex",
+    "SelectivityClass",
+    "SelectivityEstimator",
+    "bib_schema",
+    "lsn_schema",
+    "sp_schema",
+    "wd_schema",
+    "__version__",
+]

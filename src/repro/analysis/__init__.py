@@ -1,0 +1,35 @@
+"""Experiment harness (paper §6.2, §7.1).
+
+* :mod:`~repro.analysis.regression` — α estimation by log-log linear
+  regression of result counts against instance sizes;
+* :mod:`~repro.analysis.experiments` — workload evaluation across
+  instance-size families, the warm-run timing protocol, and the
+  Len/Dis/Con/Rec stress workloads of §6.2;
+* :mod:`~repro.analysis.reporting` — plain-text tables in the shape of
+  the paper's Tables 2–4 and figure series.
+"""
+
+from repro.analysis.regression import fit_alpha, AlphaFit, aggregate_alphas
+from repro.analysis.experiments import (
+    SelectivityMeasurement,
+    measure_selectivities,
+    stress_workload,
+    STRESS_WORKLOADS,
+    time_query,
+    TimingResult,
+)
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = [
+    "fit_alpha",
+    "AlphaFit",
+    "aggregate_alphas",
+    "SelectivityMeasurement",
+    "measure_selectivities",
+    "stress_workload",
+    "STRESS_WORKLOADS",
+    "time_query",
+    "TimingResult",
+    "format_table",
+    "format_series",
+]

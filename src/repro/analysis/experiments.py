@@ -1,0 +1,197 @@
+"""Experiment drivers (paper §6.2 and §7.1).
+
+Provides the four stress workloads (Len, Dis, Con, Rec), the
+selectivity-measurement loop (evaluate each query on an instance-size
+family and fit α), and the paper's timing protocol (one discarded cold
+run, five warm runs, trimmed mean of three).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.regression import AlphaFit, fit_alpha
+from repro.engine.budget import EvaluationBudget
+from repro.engine.evaluator import count_distinct
+from repro.errors import EngineError
+from repro.generation.generator import generate_graph
+from repro.generation.graph import LabeledGraph
+from repro.queries.generator import generate_workload
+from repro.queries.size import QuerySize
+from repro.queries.workload import GeneratedQuery, Workload, WorkloadConfiguration
+from repro.schema.config import GraphConfiguration
+from repro.schema.schema import GraphSchema
+
+
+def _len_config(graph: GraphConfiguration, size: int) -> WorkloadConfiguration:
+    """Len: varying path lengths, no disjuncts/conjuncts/recursion."""
+    return WorkloadConfiguration(
+        graph,
+        size=size,
+        recursion_probability=0.0,
+        query_size=QuerySize(rules=1, conjuncts=1, disjuncts=1, length=(1, 4)),
+    )
+
+
+def _dis_config(graph: GraphConfiguration, size: int) -> WorkloadConfiguration:
+    """Dis: disjuncts, no conjuncts, no recursion."""
+    return WorkloadConfiguration(
+        graph,
+        size=size,
+        recursion_probability=0.0,
+        query_size=QuerySize(rules=1, conjuncts=1, disjuncts=(2, 3), length=(1, 4)),
+    )
+
+
+def _con_config(graph: GraphConfiguration, size: int) -> WorkloadConfiguration:
+    """Con: conjuncts and disjuncts, no recursion."""
+    return WorkloadConfiguration(
+        graph,
+        size=size,
+        recursion_probability=0.0,
+        query_size=QuerySize(rules=1, conjuncts=(2, 3), disjuncts=(1, 2), length=(1, 3)),
+    )
+
+
+def _rec_config(graph: GraphConfiguration, size: int) -> WorkloadConfiguration:
+    """Rec: Kleene-starred conjuncts."""
+    return WorkloadConfiguration(
+        graph,
+        size=size,
+        recursion_probability=0.5,
+        query_size=QuerySize(rules=1, conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 3)),
+    )
+
+
+#: The §6.2 stress workloads, by name.
+STRESS_WORKLOADS: dict[str, Callable[[GraphConfiguration, int], WorkloadConfiguration]] = {
+    "Len": _len_config,
+    "Dis": _dis_config,
+    "Con": _con_config,
+    "Rec": _rec_config,
+}
+
+
+def stress_workload(
+    name: str,
+    graph: GraphConfiguration,
+    queries_per_class: int = 10,
+    seed: int | None = None,
+) -> Workload:
+    """Generate one of the Len/Dis/Con/Rec workloads.
+
+    Each workload holds ``queries_per_class`` queries per selectivity
+    class (the paper uses 10, i.e. 30 queries per workload).
+    """
+    try:
+        factory = STRESS_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stress workload {name!r}; available: {sorted(STRESS_WORKLOADS)}"
+        ) from None
+    configuration = factory(graph, 3 * queries_per_class)
+    return generate_workload(configuration, seed)
+
+
+@dataclass
+class SelectivityMeasurement:
+    """Observed result counts of one query across an instance family."""
+
+    generated: GeneratedQuery
+    sizes: list[int]
+    counts: list[int]
+    fit: AlphaFit
+
+    @property
+    def alpha(self) -> float:
+        return self.fit.alpha
+
+
+def measure_selectivities(
+    workload: Workload,
+    schema: GraphSchema,
+    sizes: Sequence[int],
+    engine: str = "datalog",
+    seed: int | None = None,
+    budget_seconds: float = 120.0,
+    graphs: dict[int, LabeledGraph] | None = None,
+) -> list[SelectivityMeasurement]:
+    """Evaluate every workload query on graphs of each size; fit α.
+
+    ``graphs`` may carry pre-generated instances (keyed by size) so
+    several workloads can share them, as the paper's experiments do.
+    """
+    if graphs is None:
+        graphs = {}
+    for size in sizes:
+        if size not in graphs:
+            graphs[size] = generate_graph(GraphConfiguration(size, schema), seed)
+
+    measurements: list[SelectivityMeasurement] = []
+    for generated in workload:
+        counts: list[int] = []
+        used_sizes: list[int] = []
+        for size in sizes:
+            budget = EvaluationBudget(timeout_seconds=budget_seconds).start()
+            try:
+                count = count_distinct(generated.query, graphs[size], engine, budget)
+            except EngineError:
+                continue
+            counts.append(count)
+            used_sizes.append(size)
+        measurements.append(
+            SelectivityMeasurement(
+                generated, used_sizes, counts, fit_alpha(used_sizes, counts)
+            )
+        )
+    return measurements
+
+
+@dataclass
+class TimingResult:
+    """Outcome of the §7.1 timing protocol for one (query, graph, engine)."""
+
+    seconds: float | None
+    failed: bool = False
+    error: str | None = None
+    runs: list[float] = field(default_factory=list)
+
+    @property
+    def display(self) -> str:
+        """Cell text as the paper prints it ("-" for failures)."""
+        if self.failed or self.seconds is None:
+            return "-"
+        return f"{self.seconds:.3f}"
+
+
+def time_query(
+    query,
+    graph: LabeledGraph,
+    engine: str,
+    budget_seconds: float = 60.0,
+    warm_runs: int = 5,
+) -> TimingResult:
+    """The paper's measurement protocol (§7.1).
+
+    One cold run is executed and discarded; of the ``warm_runs`` warm
+    runs the fastest and slowest are dropped and the rest averaged.
+    Budget violations and capability errors are reported as failures.
+    """
+    times: list[float] = []
+    try:
+        for run in range(warm_runs + 1):
+            budget = EvaluationBudget(timeout_seconds=budget_seconds).start()
+            started = time.perf_counter()
+            count_distinct(query, graph, engine, budget)
+            elapsed = time.perf_counter() - started
+            if run > 0:  # drop the cold run
+                times.append(elapsed)
+    except EngineError as error:
+        return TimingResult(seconds=None, failed=True, error=str(error), runs=times)
+    if len(times) > 2:
+        trimmed = sorted(times)[1:-1]
+    else:
+        trimmed = times
+    return TimingResult(seconds=sum(trimmed) / len(trimmed), runs=times)

@@ -1,0 +1,59 @@
+"""α estimation by log-log regression (paper §6.2).
+
+"To compute the α-value in the formula ``|Q(G)| = β·|G|^α`` we computed
+a simple linear regression between ``log|G|`` and ``log|Q(G)|``."
+
+Zero counts cannot enter a log regression; following the obvious
+reading of the protocol, a query returning zero results on *every*
+size is a constant query with α = 0, and individual zero observations
+are dropped from the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AlphaFit:
+    """Result of fitting ``|Q(G)| = β·|G|^α``."""
+
+    alpha: float
+    beta: float
+    observations: int
+
+    def predict(self, size: int | float) -> float:
+        """Predicted result count for an instance of ``size`` nodes."""
+        return self.beta * float(size) ** self.alpha
+
+    def __repr__(self) -> str:
+        return f"AlphaFit(alpha={self.alpha:.3f}, beta={self.beta:.3g})"
+
+
+def fit_alpha(sizes: Sequence[int], counts: Sequence[int]) -> AlphaFit:
+    """Fit α, β from (instance size, result count) observations."""
+    if len(sizes) != len(counts):
+        raise ValueError("sizes and counts must be parallel sequences")
+    pairs = [(s, c) for s, c in zip(sizes, counts) if c > 0]
+    if not pairs:
+        return AlphaFit(alpha=0.0, beta=0.0, observations=0)
+    if len(pairs) == 1:
+        size, count = pairs[0]
+        return AlphaFit(alpha=0.0, beta=float(count), observations=1)
+    log_sizes = np.log(np.array([p[0] for p in pairs], dtype=np.float64))
+    log_counts = np.log(np.array([p[1] for p in pairs], dtype=np.float64))
+    alpha, intercept = np.polyfit(log_sizes, log_counts, deg=1)
+    return AlphaFit(
+        alpha=float(alpha), beta=float(np.exp(intercept)), observations=len(pairs)
+    )
+
+
+def aggregate_alphas(alphas: Sequence[float]) -> tuple[float, float]:
+    """Mean and standard deviation, as reported in Table 2."""
+    if not alphas:
+        return float("nan"), float("nan")
+    arr = np.asarray(alphas, dtype=np.float64)
+    return float(arr.mean()), float(arr.std(ddof=1)) if len(arr) > 1 else 0.0

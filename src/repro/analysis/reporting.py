@@ -1,0 +1,53 @@
+"""Plain-text reporting in the shape of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column alignment."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x] + [values[index] for values in series.values()]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_mean_std(mean: float, std: float) -> str:
+    """Table 2 cell format: ``0.200±0.417``."""
+    return f"{mean:.3f}±{std:.3f}"

@@ -1,0 +1,162 @@
+"""Command-line interface mirroring the gmark binary's workflow.
+
+Subcommands::
+
+    gmark generate-graph    --config bib.xml | --scenario bib --nodes N
+                            --output graph.txt [--format ntriples|edges]
+    gmark generate-workload --scenario bib --nodes N --size 30
+                            [--workload-config wl.xml] --output wl.xml
+    gmark translate         --workload wl.xml --dialect sparql
+    gmark evaluate          --scenario bib --nodes N --query "(?x,?y) <- ..."
+                            [--engine datalog]
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.xml_io import (
+    graph_config_from_xml,
+    graph_config_to_xml,
+    workload_config_from_xml,
+)
+from repro.engine.evaluator import count_distinct
+from repro.generation.generator import generate_graph
+from repro.generation.writers import write_edge_list, write_ntriples
+from repro.queries.generator import generate_workload
+from repro.queries.parser import parse_query
+from repro.queries.workload import WorkloadConfiguration
+from repro.scenarios import scenario_schema
+from repro.schema.config import GraphConfiguration
+from repro.schema.validate import validate_schema
+from repro.translate import TRANSLATORS, workload_from_xml, workload_to_xml
+
+
+def _graph_configuration(args) -> GraphConfiguration:
+    if args.config:
+        with open(args.config, encoding="utf-8") as handle:
+            return graph_config_from_xml(handle.read())
+    if args.scenario:
+        if not args.nodes:
+            raise SystemExit("--scenario requires --nodes")
+        return GraphConfiguration(args.nodes, scenario_schema(args.scenario))
+    raise SystemExit("provide --config FILE or --scenario NAME --nodes N")
+
+
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", help="graph configuration XML file")
+    parser.add_argument("--scenario", help="built-in scenario (bib/lsn/sp/wd)")
+    parser.add_argument("--nodes", type=int, help="graph size for --scenario")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+
+def _cmd_generate_graph(args) -> int:
+    config = _graph_configuration(args)
+    diagnostics = validate_schema(config.schema, config.n)
+    for warning in diagnostics.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    diagnostics.raise_if_errors()
+    graph = generate_graph(config, args.seed)
+    if args.format == "ntriples":
+        written = write_ntriples(graph, args.output)
+    else:
+        written = write_edge_list(graph, args.output)
+    stats = graph.statistics()
+    print(f"wrote {written} lines to {args.output} "
+          f"({stats.nodes} nodes, {stats.edges} edges)")
+    return 0
+
+
+def _cmd_generate_workload(args) -> int:
+    graph_config = _graph_configuration(args)
+    if args.workload_config:
+        with open(args.workload_config, encoding="utf-8") as handle:
+            workload_config = workload_config_from_xml(handle.read(), graph_config)
+    else:
+        workload_config = WorkloadConfiguration(
+            graph_config, size=args.size, recursion_probability=args.recursion
+        )
+    workload = generate_workload(workload_config, args.seed)
+    xml = workload_to_xml(workload)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(xml)
+    print(f"wrote {len(workload)} queries to {args.output}")
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    with open(args.workload, encoding="utf-8") as handle:
+        queries = workload_from_xml(handle.read())
+    translator = TRANSLATORS[args.dialect]
+    for index, generated in enumerate(queries):
+        print(translator.translate_query(generated.query, f"q{index}",
+                                         args.count_distinct))
+        print()
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    config = _graph_configuration(args)
+    graph = generate_graph(config, args.seed)
+    query = parse_query(args.query)
+    count = count_distinct(query, graph, args.engine)
+    print(count)
+    return 0
+
+
+def _cmd_export_config(args) -> int:
+    config = _graph_configuration(args)
+    print(graph_config_to_xml(config))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gmark", description="gMark reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_graph = sub.add_parser("generate-graph", help="generate a graph instance")
+    _add_source_args(p_graph)
+    p_graph.add_argument("--output", required=True)
+    p_graph.add_argument("--format", choices=("edges", "ntriples"), default="edges")
+    p_graph.set_defaults(func=_cmd_generate_graph)
+
+    p_wl = sub.add_parser("generate-workload", help="generate a query workload")
+    _add_source_args(p_wl)
+    p_wl.add_argument("--workload-config", help="workload configuration XML")
+    p_wl.add_argument("--size", type=int, default=30, help="#queries")
+    p_wl.add_argument("--recursion", type=float, default=0.0,
+                      help="probability of Kleene star per conjunct")
+    p_wl.add_argument("--output", required=True)
+    p_wl.set_defaults(func=_cmd_generate_workload)
+
+    p_tr = sub.add_parser("translate", help="translate a workload XML")
+    p_tr.add_argument("--workload", required=True)
+    p_tr.add_argument("--dialect", choices=sorted(TRANSLATORS), required=True)
+    p_tr.add_argument("--count-distinct", action="store_true")
+    p_tr.set_defaults(func=_cmd_translate)
+
+    p_ev = sub.add_parser("evaluate", help="evaluate a UCRPQ on a fresh instance")
+    _add_source_args(p_ev)
+    p_ev.add_argument("--query", required=True, help="UCRPQ text")
+    p_ev.add_argument("--engine", default="datalog",
+                      choices=("postgres", "sparql", "cypher", "datalog"))
+    p_ev.set_defaults(func=_cmd_evaluate)
+
+    p_ex = sub.add_parser("export-config", help="print a scenario as XML")
+    _add_source_args(p_ex)
+    p_ex.set_defaults(func=_cmd_export_config)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

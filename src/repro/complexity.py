@@ -1,0 +1,177 @@
+"""The Theorem 3.6 NP-hardness reduction, made executable.
+
+Deciding whether *any* graph satisfies a configuration is NP-complete,
+by reduction from SAT-1-in-3: given a 3-CNF formula, the reduction
+builds a schema whose satisfying graphs are exactly the encodings of
+valuations making *exactly one* literal per clause true.
+
+The module constructs the reduction's configuration
+(:func:`configuration_for_formula`), the witness graph for a given
+valuation (:func:`witness_graph`), and a checker for the configuration's
+constraints (:func:`check_witness`), so the tests can verify both
+directions of the paper's correctness claim on concrete formulas —
+including ϕ0 from the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.config import GraphConfiguration
+from repro.schema.schema import EXACTLY_ONE, OPTIONAL_ONE, GraphSchema
+from repro.schema.constraints import fixed
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A 3-CNF formula: clauses of signed variable indexes (1-based).
+
+    A positive literal ``x_i`` is ``+i``; a negative one ``-i``.
+    """
+
+    variable_count: int
+    clauses: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.variable_count:
+                    raise ValueError(f"literal {literal} out of range")
+
+    @property
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+
+#: ϕ0 from the proof of Theorem 3.6:
+#: (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4)
+PHI_0 = Formula(4, ((1, -2, 3), (-1, 3, -4)))
+
+
+def configuration_for_formula(formula: Formula) -> GraphConfiguration:
+    """Build ``G_ϕ = (n_ϕ, S_ϕ)`` exactly as in the proof.
+
+    Types: one ``A``; ``C_l`` per clause; ``B_i``, ``T_i``, ``F_i`` per
+    variable — all constrained to exactly one node except ``T_i``/``F_i``
+    (whose counts the total size forces to one of each pair).
+    """
+    n = formula.variable_count
+    k = formula.clause_count
+    schema = GraphSchema(name=f"sat1in3-{n}v{k}c")
+
+    schema.add_type("A", fixed(1))
+    for l in range(1, k + 1):
+        schema.add_type(f"C{l}", fixed(1))
+    for i in range(1, n + 1):
+        schema.add_type(f"B{i}", fixed(1))
+        # T_i and F_i are unconstrained individually; the node total
+        # 2n+k+1 forces exactly one of each pair to be materialised.
+        schema.add_type(f"T{i}", fixed(1))
+        schema.add_type(f"F{i}", fixed(1))
+
+    # eta: A --t_i?--> T_i and A --f_i?--> F_i (the valuation choice).
+    for i in range(1, n + 1):
+        schema.add_edge_macro("A", f"T{i}", f"t{i}", OPTIONAL_ONE)
+        schema.add_edge_macro("A", f"F{i}", f"f{i}", OPTIONAL_ONE)
+        # Every valuation node must produce its B_i.
+        schema.add_edge_macro(f"T{i}", f"B{i}", f"b{i}", EXACTLY_ONE)
+        schema.add_edge_macro(f"F{i}", f"B{i}", f"b{i}", EXACTLY_ONE)
+
+    # Clause edges: T_i -> C_l when x_i occurs positively in clause l;
+    # F_i -> C_l when it occurs negatively.
+    for l, clause in enumerate(formula.clauses, start=1):
+        for literal in clause:
+            i = abs(literal)
+            source = f"T{i}" if literal > 0 else f"F{i}"
+            schema.add_edge_macro(source, f"C{l}", f"c{l}", EXACTLY_ONE)
+
+    # NOTE: the schema declares fixed(1) for every T_i/F_i because our
+    # occurrence constraints have no "at most one" form; the *witness
+    # checker* below enforces the proof's actual budget (2n + k + 1
+    # nodes total), under which exactly one of T_i/F_i can exist.
+    return GraphConfiguration(3 * formula.variable_count + formula.clause_count + 1,
+                              schema)
+
+
+@dataclass
+class Witness:
+    """A candidate graph for the reduction, as typed labelled edges."""
+
+    node_types: dict[str, int]  # type name -> count of materialised nodes
+    edges: list[tuple[str, str, str]]  # (source type, predicate, target type)
+
+
+def witness_graph(formula: Formula, valuation: dict[int, bool]) -> Witness:
+    """The proof's *only if* direction: encode a valuation as a graph."""
+    node_types: dict[str, int] = {"A": 1}
+    edges: list[tuple[str, str, str]] = []
+    for i in range(1, formula.variable_count + 1):
+        chosen = f"T{i}" if valuation[i] else f"F{i}"
+        node_types[chosen] = 1
+        node_types[f"B{i}"] = 1
+        edges.append(("A", f"t{i}" if valuation[i] else f"f{i}", chosen))
+        edges.append((chosen, f"b{i}", f"B{i}"))
+    for l, clause in enumerate(formula.clauses, start=1):
+        node_types[f"C{l}"] = 1
+        for literal in clause:
+            i = abs(literal)
+            literal_true = valuation[i] if literal > 0 else not valuation[i]
+            if literal_true:
+                source = f"T{i}" if literal > 0 else f"F{i}"
+                edges.append((source, f"c{l}", f"C{l}"))
+    return Witness(node_types, edges)
+
+
+def check_witness(formula: Formula, witness: Witness) -> bool:
+    """Check the reduction's constraints on a candidate graph.
+
+    Enforces: node budget ``2n + k + 1``; exactly one ``A``, ``B_i``,
+    ``C_l``; the ``b_i`` obligations of materialised valuation nodes;
+    and that each clause node receives exactly one ``c_l`` edge (the
+    1-in-3 condition, via ``C_l``'s unit occurrence combined with the
+    EXACTLY_ONE out-obligations).
+    """
+    n, k = formula.variable_count, formula.clause_count
+    total_nodes = sum(witness.node_types.values())
+    if total_nodes != 2 * n + k + 1:
+        return False
+    if witness.node_types.get("A", 0) != 1:
+        return False
+    for i in range(1, n + 1):
+        if witness.node_types.get(f"B{i}", 0) != 1:
+            return False
+        t_count = witness.node_types.get(f"T{i}", 0)
+        f_count = witness.node_types.get(f"F{i}", 0)
+        if t_count + f_count != 1:
+            return False
+        chosen = f"T{i}" if t_count else f"F{i}"
+        if (chosen, f"b{i}", f"B{i}") not in witness.edges:
+            return False
+    for l, clause in enumerate(formula.clauses, start=1):
+        if witness.node_types.get(f"C{l}", 0) != 1:
+            return False
+        incoming = [e for e in witness.edges if e[1] == f"c{l}"]
+        if len(incoming) != 1:
+            return False
+        # The single incoming edge must come from a materialised
+        # valuation node that the schema allows for this clause.
+        source = incoming[0][0]
+        allowed = {
+            (f"T{abs(lit)}" if lit > 0 else f"F{abs(lit)}") for lit in clause
+        }
+        if source not in allowed or witness.node_types.get(source, 0) != 1:
+            return False
+    return True
+
+
+def is_one_in_three_satisfied(formula: Formula, valuation: dict[int, bool]) -> bool:
+    """Direct SAT-1-in-3 check, for cross-validating the reduction."""
+    for clause in formula.clauses:
+        true_literals = 0
+        for literal in clause:
+            value = valuation[abs(literal)]
+            if (literal > 0) == value:
+                true_literals += 1
+        if true_literals != 1:
+            return False
+    return True

@@ -1,0 +1,20 @@
+"""XML configuration front-end (Fig. 1's input boxes).
+
+gMark consumes declarative XML files: a *graph configuration* (schema +
+size) and a *query workload configuration*.  This package parses and
+writes both formats.
+"""
+
+from repro.config.xml_io import (
+    graph_config_from_xml,
+    graph_config_to_xml,
+    workload_config_from_xml,
+    workload_config_to_xml,
+)
+
+__all__ = [
+    "graph_config_from_xml",
+    "graph_config_to_xml",
+    "workload_config_from_xml",
+    "workload_config_to_xml",
+]

@@ -1,0 +1,230 @@
+"""XML (de)serialisation of graph and workload configurations.
+
+The format mirrors gMark's declarative inputs ("a few lines of XML",
+§3.1).  A graph configuration document looks like::
+
+    <graph-configuration nodes="10000">
+      <types>
+        <type name="researcher" proportion="0.5"/>
+        <type name="city" fixed="100"/>
+      </types>
+      <predicates>
+        <predicate name="authors" proportion="0.5"/>
+      </predicates>
+      <edges>
+        <edge source="researcher" target="paper" predicate="authors">
+          <in type="gaussian" mu="3" sigma="1"/>
+          <out type="zipfian" s="2.5" mean="2"/>
+        </edge>
+      </edges>
+    </graph-configuration>
+
+and a workload configuration::
+
+    <workload-configuration size="30" recursion="0.5">
+      <arities><arity>2</arity></arities>
+      <shapes><shape>chain</shape></shapes>
+      <selectivities><selectivity>linear</selectivity></selectivities>
+      <size-spec rules="1,1" conjuncts="1,3" disjuncts="1,2" length="1,4"/>
+    </workload-configuration>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ConfigurationError
+from repro.queries.shapes import QueryShape
+from repro.queries.size import Interval, QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.schema.config import GraphConfiguration
+from repro.schema.constraints import OccurrenceConstraint, fixed, proportion
+from repro.schema.distributions import (
+    distribution_from_dict,
+    distribution_to_dict,
+)
+from repro.schema.schema import GraphSchema
+from repro.selectivity.types import SelectivityClass
+
+
+# ---------------------------------------------------------------------------
+# graph configurations
+# ---------------------------------------------------------------------------
+
+def _constraint_attrs(constraint: OccurrenceConstraint | None) -> dict[str, str]:
+    if constraint is None:
+        return {}
+    if constraint.is_fixed:
+        return {"fixed": str(constraint.count)}
+    return {"proportion": str(constraint.fraction)}
+
+
+def _constraint_from_attrs(el: ET.Element) -> OccurrenceConstraint | None:
+    if "fixed" in el.attrib:
+        return fixed(int(el.get("fixed")))
+    if "proportion" in el.attrib:
+        return proportion(float(el.get("proportion")))
+    return None
+
+
+def graph_config_to_xml(config: GraphConfiguration) -> str:
+    """Serialise a graph configuration to an XML document string."""
+    schema = config.schema
+    root = ET.Element(
+        "graph-configuration", {"nodes": str(config.n), "name": schema.name}
+    )
+    types_el = ET.SubElement(root, "types")
+    for name, constraint in schema.types.items():
+        ET.SubElement(types_el, "type", {"name": name, **_constraint_attrs(constraint)})
+    predicates_el = ET.SubElement(root, "predicates")
+    for name, constraint in schema.predicates.items():
+        ET.SubElement(
+            predicates_el, "predicate", {"name": name, **_constraint_attrs(constraint)}
+        )
+    edges_el = ET.SubElement(root, "edges")
+    for constraint in schema.edges.values():
+        edge_el = ET.SubElement(
+            edges_el,
+            "edge",
+            {
+                "source": constraint.source_type,
+                "target": constraint.target_type,
+                "predicate": constraint.predicate,
+            },
+        )
+        in_attrs = {k: str(v) for k, v in distribution_to_dict(constraint.in_dist).items()}
+        out_attrs = {k: str(v) for k, v in distribution_to_dict(constraint.out_dist).items()}
+        ET.SubElement(edge_el, "in", in_attrs)
+        ET.SubElement(edge_el, "out", out_attrs)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def graph_config_from_xml(text: str) -> GraphConfiguration:
+    """Parse a graph-configuration XML document."""
+    root = ET.fromstring(text)
+    if root.tag != "graph-configuration":
+        raise ConfigurationError(f"expected <graph-configuration>, got <{root.tag}>")
+    schema = GraphSchema(name=root.get("name", "schema"))
+
+    types_el = root.find("types")
+    if types_el is None:
+        raise ConfigurationError("missing <types> section")
+    for type_el in types_el.findall("type"):
+        constraint = _constraint_from_attrs(type_el)
+        if constraint is None:
+            raise ConfigurationError(
+                f"type {type_el.get('name')!r} needs fixed= or proportion="
+            )
+        schema.add_type(type_el.get("name"), constraint)
+
+    predicates_el = root.find("predicates")
+    if predicates_el is not None:
+        for pred_el in predicates_el.findall("predicate"):
+            schema.add_predicate(pred_el.get("name"), _constraint_from_attrs(pred_el))
+
+    edges_el = root.find("edges")
+    if edges_el is not None:
+        for edge_el in edges_el.findall("edge"):
+            schema.add_edge(
+                edge_el.get("source"),
+                edge_el.get("target"),
+                edge_el.get("predicate"),
+                in_dist=_distribution_from_el(edge_el.find("in")),
+                out_dist=_distribution_from_el(edge_el.find("out")),
+            )
+
+    nodes = root.get("nodes")
+    if nodes is None:
+        raise ConfigurationError("<graph-configuration> needs a nodes= attribute")
+    return GraphConfiguration(int(nodes), schema)
+
+
+def _distribution_from_el(el: ET.Element | None):
+    if el is None:
+        return distribution_from_dict({"type": "non-specified"})
+    return distribution_from_dict(dict(el.attrib))
+
+
+# ---------------------------------------------------------------------------
+# workload configurations
+# ---------------------------------------------------------------------------
+
+def _interval_attr(interval: Interval) -> str:
+    return f"{interval.lo},{interval.hi}"
+
+
+def _interval_from_attr(value: str) -> tuple[int, int]:
+    lo, _, hi = value.partition(",")
+    return int(lo), int(hi or lo)
+
+
+def workload_config_to_xml(config: WorkloadConfiguration) -> str:
+    """Serialise a workload configuration (without its graph part)."""
+    root = ET.Element(
+        "workload-configuration",
+        {"size": str(config.size), "recursion": str(config.recursion_probability)},
+    )
+    arities_el = ET.SubElement(root, "arities")
+    for arity in config.arities:
+        ET.SubElement(arities_el, "arity").text = str(arity)
+    shapes_el = ET.SubElement(root, "shapes")
+    for shape in config.shapes:
+        ET.SubElement(shapes_el, "shape").text = shape.value
+    sel_el = ET.SubElement(root, "selectivities")
+    for selectivity in config.selectivities:
+        ET.SubElement(sel_el, "selectivity").text = selectivity.value
+    size = config.query_size
+    ET.SubElement(
+        root,
+        "size-spec",
+        {
+            "rules": _interval_attr(size.rules),
+            "conjuncts": _interval_attr(size.conjuncts),
+            "disjuncts": _interval_attr(size.disjuncts),
+            "length": _interval_attr(size.length),
+        },
+    )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def workload_config_from_xml(
+    text: str, graph: GraphConfiguration
+) -> WorkloadConfiguration:
+    """Parse a workload-configuration document against a graph config."""
+    root = ET.fromstring(text)
+    if root.tag != "workload-configuration":
+        raise ConfigurationError(
+            f"expected <workload-configuration>, got <{root.tag}>"
+        )
+    arities = tuple(
+        int(el.text) for el in root.findall("arities/arity")
+    ) or (2,)
+    shapes = tuple(
+        QueryShape(el.text) for el in root.findall("shapes/shape")
+    ) or (QueryShape.CHAIN,)
+    selectivities = tuple(
+        SelectivityClass(el.text) for el in root.findall("selectivities/selectivity")
+    ) or tuple(SelectivityClass)
+
+    size_el = root.find("size-spec")
+    if size_el is not None:
+        query_size = QuerySize(
+            rules=_interval_from_attr(size_el.get("rules", "1")),
+            conjuncts=_interval_from_attr(size_el.get("conjuncts", "1,3")),
+            disjuncts=_interval_from_attr(size_el.get("disjuncts", "1")),
+            length=_interval_from_attr(size_el.get("length", "1,3")),
+        )
+    else:
+        query_size = QuerySize()
+
+    return WorkloadConfiguration(
+        graph,
+        size=int(root.get("size", "10")),
+        arities=arities,
+        shapes=shapes,
+        selectivities=selectivities,
+        recursion_probability=float(root.get("recursion", "0")),
+        query_size=query_size,
+    )

@@ -1,0 +1,55 @@
+"""Graph query engines (the §7 experimental substrate).
+
+The paper benchmarks PostgreSQL plus three obfuscated commercial
+systems.  This package substitutes four in-process engines, each
+modelled on the query-processing strategy that drives the behaviour the
+paper observes (see DESIGN.md §3):
+
+* :class:`DatalogLikeEngine` (**D**) — semi-naive bottom-up evaluation;
+  the only engine comfortable with recursion (Table 4);
+* :class:`PostgresLikeEngine` (**P**) — vectorised sort-merge/hash
+  joins with SQL:1999-style linear recursion; strong on non-recursive
+  queries, degrades badly on recursion;
+* :class:`SparqlLikeEngine` (**S**) — per-source NFA-product BFS (the
+  property-path strategy); wins on quadratic workloads;
+* :class:`CypherLikeEngine` (**G**) — edge-isomorphic pattern matching
+  without inverse/concatenation under Kleene star, whose answers can
+  legitimately differ (§7.1).
+
+All engines share :class:`EvaluationBudget` so the harness can record
+timeouts/row blowups as the paper's "-" failures.
+"""
+
+from repro.engine.budget import EvaluationBudget
+from repro.engine.automaton import NFA, build_nfa
+from repro.engine.relations import BinaryRelation
+from repro.engine.joins import join_rule, greedy_join_order
+from repro.engine.algebraic import DatalogLikeEngine
+from repro.engine.sqllike import PostgresLikeEngine
+from repro.engine.bfs import SparqlLikeEngine
+from repro.engine.isomorphic import CypherLikeEngine
+from repro.engine.evaluator import (
+    ENGINES,
+    Engine,
+    count_distinct,
+    engine_by_name,
+    evaluate_query,
+)
+
+__all__ = [
+    "EvaluationBudget",
+    "NFA",
+    "build_nfa",
+    "BinaryRelation",
+    "join_rule",
+    "greedy_join_order",
+    "DatalogLikeEngine",
+    "PostgresLikeEngine",
+    "SparqlLikeEngine",
+    "CypherLikeEngine",
+    "ENGINES",
+    "Engine",
+    "engine_by_name",
+    "evaluate_query",
+    "count_distinct",
+]

@@ -1,0 +1,109 @@
+"""NFAs for UCRPQ regular expressions.
+
+The normal form (union of symbol paths, star only outermost) admits a
+direct construction without ε-transitions:
+
+* non-starred ``(P1 + ... + Pk)``: a shared start and a shared accept
+  state with one linear chain per path; an ε disjunct makes the start
+  state accepting;
+* starred expressions: every chain loops from the start back to the
+  start, which is also the single (accepting) state of the closure.
+
+The engines run these NFAs as product automata over the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.queries.ast import RegularExpression
+
+
+@dataclass
+class NFA:
+    """A non-deterministic finite automaton over ``Sigma±`` symbols."""
+
+    state_count: int
+    start: int
+    accepting: frozenset[int]
+    # transitions[state] -> list of (symbol, next_state)
+    transitions: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
+        """All states reachable from ``states`` by one ``symbol`` edge."""
+        out: set[int] = set()
+        for state in states:
+            for move_symbol, next_state in self.transitions.get(state, []):
+                if move_symbol == symbol:
+                    out.add(next_state)
+        return frozenset(out)
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        return bool(states & self.accepting)
+
+    def accepts(self, symbols: list[str] | tuple[str, ...]) -> bool:
+        """Brute-force word acceptance (used by property tests)."""
+        states = frozenset({self.start})
+        for symbol in symbols:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    @property
+    def symbols(self) -> set[str]:
+        """Alphabet actually used by the transitions."""
+        return {
+            symbol
+            for moves in self.transitions.values()
+            for symbol, _ in moves
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA({self.state_count} states, start={self.start}, "
+            f"accepting={sorted(self.accepting)})"
+        )
+
+
+def build_nfa(regex: RegularExpression) -> NFA:
+    """Compile a normal-form regular expression into an NFA."""
+    transitions: dict[int, list[tuple[str, int]]] = {}
+    next_state = 0
+
+    def fresh() -> int:
+        nonlocal next_state
+        state = next_state
+        next_state += 1
+        return state
+
+    def add(source: int, symbol: str, target: int) -> None:
+        transitions.setdefault(source, []).append((symbol, target))
+
+    start = fresh()
+    if regex.starred:
+        # All chains loop start -> ... -> start; start accepts (ε ∈ L*).
+        for path in regex.disjuncts:
+            if path.is_epsilon:
+                continue
+            current = start
+            for index, symbol in enumerate(path.symbols):
+                is_last = index == len(path.symbols) - 1
+                target = start if is_last else fresh()
+                add(current, symbol, target)
+                current = target
+        return NFA(next_state, start, frozenset({start}), transitions)
+
+    accept = fresh()
+    accepting = {accept}
+    for path in regex.disjuncts:
+        if path.is_epsilon:
+            accepting.add(start)
+            continue
+        current = start
+        for index, symbol in enumerate(path.symbols):
+            is_last = index == len(path.symbols) - 1
+            target = accept if is_last else fresh()
+            add(current, symbol, target)
+            current = target
+    return NFA(next_state, start, frozenset(accepting), transitions)

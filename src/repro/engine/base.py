@@ -1,0 +1,96 @@
+"""Engine base class and shared regex-evaluation helpers."""
+
+from __future__ import annotations
+
+from repro.engine.budget import EvaluationBudget
+from repro.engine.relations import BinaryRelation
+from repro.generation.graph import LabeledGraph
+from repro.queries.ast import Query, RegularExpression
+
+
+class Engine:
+    """Base class: evaluate UCRPQs on a :class:`LabeledGraph`.
+
+    ``name`` is the registry key; ``paper_system`` the letter the paper
+    uses for the corresponding real system (P, S, G, D).
+    """
+
+    name: str = "abstract"
+    paper_system: str = "?"
+    #: False for engines whose match semantics differ from the standard
+    #: homomorphic UCRPQ semantics (openCypher's isomorphic matching).
+    homomorphic: bool = True
+
+    def evaluate(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> set[tuple[int, ...]]:
+        """Answer set of ``query`` on ``graph`` (tuples of node ids)."""
+        raise NotImplementedError
+
+    def count_distinct(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> int:
+        """``count(distinct ?v)`` — the §7.1 measurement form."""
+        return len(self.evaluate(query, graph, budget))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SymbolRelationCache:
+    """Per-(graph, evaluation) cache of single-symbol relations.
+
+    Engines repeatedly need the relation of the same symbol (e.g. the
+    same label in several conjuncts); building it once per evaluation
+    keeps the comparison between engines about *strategy*, not caching.
+    """
+
+    def __init__(self, graph: LabeledGraph):
+        self.graph = graph
+        self._cache: dict[str, BinaryRelation] = {}
+
+    def relation(self, symbol: str) -> BinaryRelation:
+        cached = self._cache.get(symbol)
+        if cached is None:
+            cached = BinaryRelation.from_graph_symbol(self.graph, symbol)
+            self._cache[symbol] = cached
+        return cached
+
+
+def regex_to_relation(
+    regex: RegularExpression,
+    cache: SymbolRelationCache,
+    budget: EvaluationBudget,
+) -> BinaryRelation:
+    """Evaluate a regular expression to its full binary relation.
+
+    Disjuncts compose symbol relations left to right; a starred
+    expression takes the reflexive-transitive closure over *all* graph
+    nodes (ε matches everywhere under UCRPQ semantics).
+    """
+    graph = cache.graph
+    combined: BinaryRelation | None = None
+    for path in regex.disjuncts:
+        if path.is_epsilon:
+            path_relation = BinaryRelation.identity(range(graph.n))
+        else:
+            path_relation = cache.relation(path.symbols[0])
+            for symbol in path.symbols[1:]:
+                path_relation = path_relation.compose(cache.relation(symbol), budget)
+        combined = path_relation if combined is None else combined.union(path_relation)
+        budget.check_time()
+    assert combined is not None  # the AST guarantees >= 1 disjunct
+    if regex.starred:
+        from repro.engine.closure import ClosureRelation
+
+        # Stars are outermost (§3.3), so the closure never composes
+        # further — the SCC-compressed representation suffices for the
+        # conjunct join and avoids materialising quadratic pair sets.
+        return ClosureRelation(combined, graph.n, budget)
+    return combined

@@ -1,0 +1,57 @@
+"""Evaluation budgets: the harness's failure detector.
+
+The paper reports engines that "either failed on the majority of these
+queries or had to be manually terminated after unexpectedly long
+running times" (§7.2).  A budget caps wall-clock time and intermediate
+row counts; exceeding either raises
+:class:`~repro.errors.EngineBudgetExceeded`, which the experiment
+harness records as a failure ("-") instead of hanging the benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import EngineBudgetExceeded
+
+
+@dataclass
+class EvaluationBudget:
+    """Per-query limits on time and intermediate result size."""
+
+    timeout_seconds: float = 60.0
+    max_rows: int = 5_000_000
+    _started: float = field(default=0.0, repr=False)
+
+    def start(self) -> "EvaluationBudget":
+        """Arm the clock; returns self for chaining."""
+        self._started = time.monotonic()
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def check_time(self) -> None:
+        """Raise when the wall-clock budget is spent."""
+        elapsed = self.elapsed
+        if elapsed > self.timeout_seconds:
+            raise EngineBudgetExceeded(
+                f"evaluation exceeded {self.timeout_seconds:.1f}s "
+                f"(elapsed {elapsed:.1f}s)",
+                elapsed_seconds=elapsed,
+            )
+
+    def check_rows(self, rows: int) -> None:
+        """Raise when an intermediate relation outgrows the budget."""
+        if rows > self.max_rows:
+            raise EngineBudgetExceeded(
+                f"intermediate result of {rows} rows exceeds cap {self.max_rows}",
+                elapsed_seconds=self.elapsed,
+            )
+
+
+def unlimited() -> EvaluationBudget:
+    """A budget that effectively never triggers (for tests)."""
+    return EvaluationBudget(timeout_seconds=float("inf"), max_rows=2**62).start()

@@ -1,0 +1,64 @@
+"""Engine registry and evaluation front-end."""
+
+from __future__ import annotations
+
+from repro.engine.algebraic import DatalogLikeEngine
+from repro.engine.base import Engine
+from repro.engine.bfs import SparqlLikeEngine
+from repro.engine.budget import EvaluationBudget
+from repro.engine.isomorphic import CypherLikeEngine
+from repro.engine.sqllike import PostgresLikeEngine
+from repro.errors import EngineError
+from repro.generation.graph import LabeledGraph
+from repro.queries.ast import Query
+
+#: The four §7 systems, keyed by engine name.
+ENGINES: dict[str, Engine] = {
+    engine.name: engine
+    for engine in (
+        PostgresLikeEngine(),
+        SparqlLikeEngine(),
+        CypherLikeEngine(),
+        DatalogLikeEngine(),
+    )
+}
+
+#: Paper letter -> engine name (Table 4 / Fig. 12 row labels).
+PAPER_SYSTEMS = {engine.paper_system: name for name, engine in ENGINES.items()}
+
+
+def engine_by_name(name: str) -> Engine:
+    """Look up an engine by name ('postgres', 'sparql', 'cypher',
+    'datalog') or by the paper's system letter ('P', 'S', 'G', 'D')."""
+    if name in ENGINES:
+        return ENGINES[name]
+    if name in PAPER_SYSTEMS:
+        return ENGINES[PAPER_SYSTEMS[name]]
+    raise EngineError(
+        f"unknown engine {name!r}; available: {sorted(ENGINES)} "
+        f"or letters {sorted(PAPER_SYSTEMS)}"
+    )
+
+
+def evaluate_query(
+    query: Query,
+    graph: LabeledGraph,
+    engine: str | Engine = "datalog",
+    budget: EvaluationBudget | None = None,
+) -> set[tuple[int, ...]]:
+    """Evaluate ``query`` on ``graph`` with the chosen engine."""
+    if isinstance(engine, str):
+        engine = engine_by_name(engine)
+    return engine.evaluate(query, graph, budget)
+
+
+def count_distinct(
+    query: Query,
+    graph: LabeledGraph,
+    engine: str | Engine = "datalog",
+    budget: EvaluationBudget | None = None,
+) -> int:
+    """``count(distinct ?v)`` over the answers (the §7.1 measurement)."""
+    if isinstance(engine, str):
+        engine = engine_by_name(engine)
+    return engine.count_distinct(query, graph, budget)

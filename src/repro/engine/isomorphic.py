@@ -1,0 +1,321 @@
+"""The openCypher-like engine ("G" in the paper's §7).
+
+Two deliberate semantic gaps mirror §7.1's description of system G:
+
+* **edge-isomorphic matching** — within one pattern match, no edge may
+  be used twice (openCypher's relationship uniqueness), whereas all
+  other engines use homomorphic semantics; and
+* **restricted recursion** — variable-length patterns support neither
+  inverse symbols nor concatenation; the translator's workaround (keep
+  the non-inverse symbol and/or the first symbol of a concatenation) is
+  applied, so recursive answers may differ or come back empty — exactly
+  the behaviour the paper reports for G.
+
+Evaluation is backtracking pattern matching over expanded disjunct
+branches, the strategy of a prototypical native graph database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.engine.base import Engine
+from repro.engine.budget import EvaluationBudget
+from repro.errors import EngineCapabilityError
+from repro.generation.graph import LabeledGraph
+from repro.queries.ast import (
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+    is_inverse,
+    symbol_base,
+)
+
+#: Cap on the per-rule cross product of disjunct choices (as in the
+#: translator: a real system would refuse queries beyond this).
+MAX_BRANCHES = 128
+
+
+@dataclass(frozen=True)
+class _EdgeStep:
+    """One single-symbol hop between two pattern variables."""
+
+    source: str
+    symbol: str
+    target: str
+
+
+@dataclass(frozen=True)
+class _VarLengthStep:
+    """A variable-length hop ``-[:l1|l2*0..]->`` (forward labels only)."""
+
+    source: str
+    labels: tuple[str, ...]
+    target: str
+
+
+_Step = "_EdgeStep | _VarLengthStep"
+
+
+class CypherLikeEngine(Engine):
+    """Backtracking edge-isomorphic matcher with the §7.1 workaround."""
+
+    name = "cypher"
+    paper_system = "G"
+    homomorphic = False
+
+    def evaluate(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> set[tuple[int, ...]]:
+        budget = (budget or EvaluationBudget()).start()
+        answers: set[tuple[int, ...]] = set()
+        for rule in query.rules:
+            for branch in self._branches(rule):
+                self._match_branch(rule, branch, graph, budget, answers)
+                budget.check_time()
+        return answers
+
+    # -- branch construction --------------------------------------------
+
+    def _branches(self, rule: QueryRule) -> list[list[object]]:
+        """Expand disjunctions into per-branch step lists."""
+        per_conjunct: list[list[list[object]]] = []
+        fresh = _FreshVars()
+        for conjunct in rule.body:
+            regex = conjunct.regex
+            if regex.starred:
+                steps = [
+                    [
+                        _VarLengthStep(
+                            conjunct.source,
+                            _approximate_labels(regex),
+                            conjunct.target,
+                        )
+                    ]
+                ]
+            else:
+                steps = [
+                    _path_steps(conjunct.source, path, conjunct.target, fresh)
+                    for path in regex.disjuncts
+                ]
+            per_conjunct.append(steps)
+        branches = [
+            [step for steps in choice for step in steps]
+            for choice in product(*per_conjunct)
+        ]
+        if len(branches) > MAX_BRANCHES:
+            raise EngineCapabilityError(
+                f"query expands to {len(branches)} match branches (cap {MAX_BRANCHES})"
+            )
+        return branches
+
+    # -- matching ----------------------------------------------------------
+
+    def _match_branch(
+        self,
+        rule: QueryRule,
+        steps: list[object],
+        graph: LabeledGraph,
+        budget: EvaluationBudget,
+        answers: set[tuple[int, ...]],
+    ) -> None:
+        ordered = _order_steps(steps)
+
+        def backtrack(
+            index: int,
+            assignment: dict[str, int],
+            used_edges: frozenset[tuple[int, str, int]],
+        ) -> None:
+            budget.check_time()
+            if index == len(ordered):
+                answers.add(tuple(assignment[v] for v in rule.head))
+                budget.check_rows(len(answers))
+                return
+            step = ordered[index]
+            if isinstance(step, _EdgeStep):
+                for src, trg, edge in _edge_candidates(step, assignment, graph):
+                    if edge in used_edges:
+                        continue
+                    new_assignment = _extend(assignment, step.source, src)
+                    if new_assignment is None:
+                        continue
+                    new_assignment = _extend(new_assignment, step.target, trg)
+                    if new_assignment is None:
+                        continue
+                    backtrack(index + 1, new_assignment, used_edges | {edge})
+            else:
+                for src, trg in _reachable_candidates(step, assignment, graph, budget):
+                    new_assignment = _extend(assignment, step.source, src)
+                    if new_assignment is None:
+                        continue
+                    new_assignment = _extend(new_assignment, step.target, trg)
+                    if new_assignment is None:
+                        continue
+                    backtrack(index + 1, new_assignment, used_edges)
+
+        backtrack(0, {}, frozenset())
+
+
+class _FreshVars:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        return f"?_g{self._counter}"
+
+
+def _path_steps(
+    source: str, path: PathExpression, target: str, fresh: _FreshVars
+) -> list[object]:
+    if path.is_epsilon:
+        # ε: equate the endpoints with a zero-length var-length step.
+        return [_VarLengthStep(source, (), target)]
+    steps: list[object] = []
+    current = source
+    for index, symbol in enumerate(path.symbols):
+        nxt = target if index == len(path.symbols) - 1 else fresh.next()
+        steps.append(_EdgeStep(current, symbol, nxt))
+        current = nxt
+    return steps
+
+
+def _approximate_labels(regex: RegularExpression) -> tuple[str, ...]:
+    """§7.1 workaround: non-inverse symbol / first symbol of a concat."""
+    labels: list[str] = []
+    for path in regex.disjuncts:
+        if path.is_epsilon:
+            continue
+        label = symbol_base(path.symbols[0])
+        if label not in labels:
+            labels.append(label)
+    return tuple(labels)
+
+
+def _order_steps(steps: list[object]) -> list[object]:
+    """Greedy connectivity order (var-length hops last when possible)."""
+    remaining = list(steps)
+    ordered: list[object] = []
+    bound: set[str] = set()
+    while remaining:
+        def score(step) -> tuple[int, int]:
+            connected = int(step.source in bound or step.target in bound)
+            fixed = int(isinstance(step, _EdgeStep))
+            return (-connected if bound else 0, -fixed)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.add(best.source)
+        bound.add(best.target)
+    return ordered
+
+
+def _extend(
+    assignment: dict[str, int], var: str, value: int
+) -> dict[str, int] | None:
+    existing = assignment.get(var)
+    if existing is None:
+        new_assignment = dict(assignment)
+        new_assignment[var] = value
+        return new_assignment
+    if existing != value:
+        return None
+    return assignment
+
+
+def _edge_candidates(step: _EdgeStep, assignment: dict[str, int], graph: LabeledGraph):
+    """Yield (src_value, trg_value, edge_id) for one pattern edge."""
+    label = symbol_base(step.symbol)
+    inverse = is_inverse(step.symbol)
+    src_val = assignment.get(step.source)
+    trg_val = assignment.get(step.target)
+
+    if inverse:
+        # (source)<-[:label]-(target): a physical edge target -> source.
+        if src_val is not None:
+            for trg in graph.predecessors(src_val, label):
+                if trg_val is None or trg == trg_val:
+                    yield src_val, trg, (trg, label, src_val)
+        elif trg_val is not None:
+            for src in graph.successors(trg_val, label):
+                yield src, trg_val, (trg_val, label, src)
+        else:
+            for src, trg in graph.edges_with_label(label):
+                yield trg, src, (src, label, trg)
+    else:
+        if src_val is not None:
+            for trg in graph.successors(src_val, label):
+                if trg_val is None or trg == trg_val:
+                    yield src_val, trg, (src_val, label, trg)
+        elif trg_val is not None:
+            for src in graph.predecessors(trg_val, label):
+                yield src, trg_val, (src, label, trg)
+        else:
+            for src, trg in graph.edges_with_label(label):
+                yield src, trg, (src, label, trg)
+
+
+def _reachable_candidates(
+    step: _VarLengthStep,
+    assignment: dict[str, int],
+    graph: LabeledGraph,
+    budget: EvaluationBudget,
+):
+    """(src, trg) pairs of a forward variable-length pattern."""
+    src_val = assignment.get(step.source)
+    trg_val = assignment.get(step.target)
+
+    if src_val is not None:
+        for trg in _forward_reachable(src_val, step.labels, graph, budget):
+            if trg_val is None or trg == trg_val:
+                yield src_val, trg
+    elif trg_val is not None:
+        for src in _backward_reachable(trg_val, step.labels, graph, budget):
+            yield src, trg_val
+    else:
+        for src in range(graph.n):
+            budget.check_time()
+            for trg in _forward_reachable(src, step.labels, graph, budget):
+                yield src, trg
+
+
+def _forward_reachable(
+    source: int, labels: tuple[str, ...], graph: LabeledGraph, budget: EvaluationBudget
+) -> set[int]:
+    reachable = {source}
+    frontier = [source]
+    while frontier:
+        budget.check_time()
+        next_frontier: list[int] = []
+        for node in frontier:
+            for label in labels:
+                for successor in graph.successors(node, label):
+                    if successor not in reachable:
+                        reachable.add(successor)
+                        next_frontier.append(successor)
+        frontier = next_frontier
+    return reachable
+
+
+def _backward_reachable(
+    target: int, labels: tuple[str, ...], graph: LabeledGraph, budget: EvaluationBudget
+) -> set[int]:
+    reachable = {target}
+    frontier = [target]
+    while frontier:
+        budget.check_time()
+        next_frontier: list[int] = []
+        for node in frontier:
+            for label in labels:
+                for predecessor in graph.predecessors(node, label):
+                    if predecessor not in reachable:
+                        reachable.add(predecessor)
+                        next_frontier.append(predecessor)
+        frontier = next_frontier
+    return reachable

@@ -1,0 +1,125 @@
+"""Conjunct joining: turn per-conjunct relations into rule answers.
+
+Every homomorphic engine evaluates a rule the same way once the
+conjunct relations are known: hash-join them on shared variables and
+project onto the head.  The join *order* matters; the default is a
+greedy smallest-relation-first, most-connected-next order, and the
+naive left-deep order is kept for the join-planning ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.engine.budget import EvaluationBudget, unlimited
+from repro.engine.relations import BinaryRelation
+from repro.queries.ast import QueryRule
+
+
+def greedy_join_order(
+    rule: QueryRule, relations: list[BinaryRelation]
+) -> list[int]:
+    """Conjunct order: smallest relation first, then connected-smallest.
+
+    Keeping every intermediate bound to already-seen variables avoids
+    accidental Cartesian products; among the connected candidates the
+    smallest relation goes first.
+    """
+    remaining = set(range(len(rule.body)))
+    order: list[int] = []
+    bound_vars: set[str] = set()
+    while remaining:
+        connected = [
+            index
+            for index in remaining
+            if not bound_vars
+            or rule.body[index].source in bound_vars
+            or rule.body[index].target in bound_vars
+        ]
+        candidates = connected or list(remaining)
+        best = min(candidates, key=lambda index: len(relations[index]))
+        order.append(best)
+        remaining.discard(best)
+        bound_vars.add(rule.body[best].source)
+        bound_vars.add(rule.body[best].target)
+    return order
+
+
+def naive_join_order(rule: QueryRule, relations: list[BinaryRelation]) -> list[int]:
+    """Left-deep order exactly as written (ablation baseline)."""
+    return list(range(len(rule.body)))
+
+
+def join_rule(
+    rule: QueryRule,
+    relations: list[BinaryRelation],
+    budget: EvaluationBudget | None = None,
+    order: list[int] | None = None,
+) -> set[tuple[int, ...]]:
+    """Join conjunct relations and project onto the rule head.
+
+    ``relations[i]`` must be the relation of ``rule.body[i]``.  Returns
+    the set of head tuples (empty tuples for Boolean rules collapse to
+    at most one row, i.e. "true").
+    """
+    budget = budget or unlimited()
+    if order is None:
+        order = greedy_join_order(rule, relations)
+
+    # Bindings: a schema (ordered variable tuple) plus a set of rows.
+    schema: list[str] = []
+    rows: set[tuple[int, ...]] = {()}
+
+    for index in order:
+        conjunct = rule.body[index]
+        relation = relations[index]
+        source, target = conjunct.source, conjunct.target
+        src_pos = schema.index(source) if source in schema else None
+        trg_pos = schema.index(target) if target in schema else None
+
+        new_schema = list(schema)
+        if src_pos is None:
+            new_schema.append(source)
+        if trg_pos is None and target != source:
+            if target not in new_schema:
+                new_schema.append(target)
+
+        new_rows: set[tuple[int, ...]] = set()
+        if src_pos is None and trg_pos is None:
+            # Cartesian extension (only when nothing is bound yet).
+            if source == target:
+                loops = [s for s, t in relation if s == t]
+                for row in rows:
+                    for node in loops:
+                        new_rows.add(row + (node,))
+            else:
+                for row in rows:
+                    for position, (s, t) in enumerate(relation):
+                        new_rows.add(row + (s, t))
+                        if position % 65536 == 65535:
+                            budget.check_rows(len(new_rows))
+                            budget.check_time()
+                    budget.check_rows(len(new_rows))
+        elif src_pos is not None and (trg_pos is not None or target == source):
+            # Both endpoints bound: a filter.
+            effective_trg = src_pos if target == source else trg_pos
+            for row in rows:
+                if (row[src_pos], row[effective_trg]) in relation:
+                    new_rows.add(row)
+        elif src_pos is not None:
+            for row in rows:
+                for t in relation.targets_of(row[src_pos]):
+                    new_rows.add(row + (t,))
+                budget.check_rows(len(new_rows))
+        else:
+            inverse = relation.inverse()
+            for row in rows:
+                for s in inverse.targets_of(row[trg_pos]):
+                    new_rows.add(row + (s,))
+                budget.check_rows(len(new_rows))
+        rows = new_rows
+        schema = new_schema
+        budget.check_time()
+        if not rows:
+            return set()
+
+    positions = [schema.index(var) for var in rule.head]
+    return {tuple(row[p] for p in positions) for row in rows}

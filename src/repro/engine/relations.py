@@ -1,0 +1,163 @@
+"""Binary relations and their algebra (the Datalog engine's workhorse).
+
+A :class:`BinaryRelation` is a set of (source, target) integer pairs
+indexed in both directions.  It supports the operations the UCRPQ
+fragment needs — union, composition, inverse, reflexive-transitive
+closure via *semi-naive* delta iteration — with budget hooks so runaway
+closures surface as :class:`~repro.errors.EngineBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.engine.budget import EvaluationBudget, unlimited
+from repro.generation.graph import LabeledGraph
+from repro.queries.ast import is_inverse, symbol_base
+
+
+class BinaryRelation:
+    """A mutable set of integer pairs with forward/backward indexes."""
+
+    def __init__(self, pairs: Iterable[tuple[int, int]] = ()):
+        self._forward: dict[int, set[int]] = defaultdict(set)
+        self._size = 0
+        for source, target in pairs:
+            self.add(source, target)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_graph_symbol(cls, graph: LabeledGraph, symbol: str) -> "BinaryRelation":
+        """Relation of one symbol in ``Sigma±`` (inverse swaps columns)."""
+        label = symbol_base(symbol)
+        relation = cls()
+        if is_inverse(symbol):
+            for source, target in graph.edges_with_label(label):
+                relation.add(target, source)
+        else:
+            for source, target in graph.edges_with_label(label):
+                relation.add(source, target)
+        return relation
+
+    @classmethod
+    def identity(cls, nodes: Iterable[int]) -> "BinaryRelation":
+        """The ε relation: every node related to itself."""
+        relation = cls()
+        for node in nodes:
+            relation.add(node, node)
+        return relation
+
+    def add(self, source: int, target: int) -> bool:
+        targets = self._forward[source]
+        if target in targets:
+            return False
+        targets.add(target)
+        self._size += 1
+        return True
+
+    # -- inspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        source, target = pair
+        return target in self._forward.get(source, ())
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for source, targets in self._forward.items():
+            for target in targets:
+                yield source, target
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BinaryRelation):
+            return NotImplemented
+        return set(self) == set(other)
+
+    def targets_of(self, source: int) -> set[int]:
+        return self._forward.get(source, set())
+
+    def sources(self) -> Iterable[int]:
+        return self._forward.keys()
+
+    def pairs(self) -> set[tuple[int, int]]:
+        return set(self)
+
+    # -- algebra ----------------------------------------------------------
+
+    def union(self, other: "BinaryRelation") -> "BinaryRelation":
+        result = BinaryRelation(self)
+        for pair in other:
+            result.add(*pair)
+        return result
+
+    def inverse(self) -> "BinaryRelation":
+        return BinaryRelation((target, source) for source, target in self)
+
+    def compose(
+        self, other: "BinaryRelation", budget: EvaluationBudget | None = None
+    ) -> "BinaryRelation":
+        """``{(a, c) | (a, b) ∈ self, (b, c) ∈ other}`` (hash join)."""
+        budget = budget or unlimited()
+        result = BinaryRelation()
+        for source, middles in self._forward.items():
+            for middle in middles:
+                for target in other._forward.get(middle, ()):
+                    result.add(source, target)
+            budget.check_rows(len(result))
+        budget.check_time()
+        return result
+
+    def transitive_closure(
+        self,
+        nodes: Iterable[int] | None = None,
+        budget: EvaluationBudget | None = None,
+    ) -> "BinaryRelation":
+        """Reflexive-transitive closure via semi-naive iteration.
+
+        ``nodes`` supplies the identity base (Kleene star matches ε on
+        *every* node); when omitted only nodes touched by the relation
+        are included — callers evaluating full UCRPQ semantics pass the
+        graph's node range.
+        """
+        budget = budget or unlimited()
+        if nodes is None:
+            touched: set[int] = set()
+            for source, target in self:
+                touched.add(source)
+                touched.add(target)
+            nodes = touched
+
+        closure = BinaryRelation.identity(nodes)
+        # delta = pairs discovered in the previous round (semi-naive:
+        # only they can produce new pairs this round).
+        delta: set[tuple[int, int]] = set()
+        for pair in self:
+            if closure.add(*pair):
+                delta.add(pair)
+        while delta:
+            budget.check_time()
+            budget.check_rows(len(closure))
+            new_delta: set[tuple[int, int]] = set()
+            for source, middle in delta:
+                for target in self._forward.get(middle, ()):
+                    if closure.add(source, target):
+                        new_delta.add((source, target))
+            delta = new_delta
+        return closure
+
+    def restrict_sources(self, allowed: set[int]) -> "BinaryRelation":
+        """Sub-relation with sources in ``allowed`` (semi-join pushdown)."""
+        result = BinaryRelation()
+        for source in allowed:
+            for target in self._forward.get(source, ()):
+                result.add(source, target)
+        return result
+
+    def __repr__(self) -> str:
+        return f"BinaryRelation({self._size} pairs)"

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the gMark reproduction.
+
+Every error raised by this package derives from :class:`GmarkError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate configuration problems from runtime
+budget violations.
+"""
+
+from __future__ import annotations
+
+
+class GmarkError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(GmarkError):
+    """An input configuration (graph or workload) is invalid."""
+
+
+class SchemaError(ConfigurationError):
+    """A graph schema is internally inconsistent.
+
+    Examples: a constraint refers to an unknown node type, a proportion
+    is outside ``[0, 1]``, or both sides of a degree constraint are
+    non-specified.
+    """
+
+
+class WorkloadError(ConfigurationError):
+    """A query workload configuration is invalid or unsatisfiable."""
+
+
+class GenerationError(GmarkError):
+    """Graph or query generation failed in an unrecoverable way.
+
+    Generation is heuristic and normally relaxes constraints instead of
+    failing; this error signals a genuinely impossible request (e.g. a
+    selectivity class unreachable from the schema graph).
+    """
+
+
+class QuerySyntaxError(GmarkError):
+    """A textual UCRPQ or regular expression could not be parsed."""
+
+
+class TranslationError(GmarkError):
+    """A query cannot be expressed in the requested concrete syntax."""
+
+
+class EngineError(GmarkError):
+    """Base class for query-engine failures."""
+
+
+class EngineCapabilityError(EngineError):
+    """The engine does not support a feature required by the query.
+
+    Mirrors e.g. openCypher's lack of inverse/concatenation under Kleene
+    star (paper §7.1).
+    """
+
+
+class EngineBudgetExceeded(EngineError):
+    """Query evaluation exceeded its time or memory (row) budget.
+
+    The experiment harness records these as the failures ("-") reported
+    in Table 4 of the paper.
+    """
+
+    def __init__(self, message: str, elapsed_seconds: float | None = None):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds

@@ -1,0 +1,186 @@
+"""In-memory directed edge-labeled graph instances.
+
+The generator produces a :class:`LabeledGraph`: node ids are dense
+integers partitioned into per-type ranges by the configuration, and
+edges are stored per label in both directions (forward and inverse
+adjacency), which is what every engine in :mod:`repro.engine` — and the
+selectivity validation experiments — iterate over.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.config import GraphConfiguration
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of an instance (used by tests and reports)."""
+
+    nodes: int
+    edges: int
+    labels: int
+    edges_per_label: dict[str, int]
+    nodes_per_type: dict[str, int]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStatistics(nodes={self.nodes}, edges={self.edges}, "
+            f"labels={self.labels})"
+        )
+
+
+class LabeledGraph:
+    """A directed edge-labeled multigraph with typed integer nodes.
+
+    The structure keeps, per label, a forward index ``source -> targets``
+    and a backward index ``target -> sources``.  Duplicate (source,
+    label, target) triples are collapsed: gMark evaluation semantics are
+    set-oriented (§3.3), so parallel identical edges would never be
+    observable through queries.
+    """
+
+    def __init__(self, config: GraphConfiguration):
+        self.config = config
+        self.n = config.total_nodes
+        self._forward: dict[str, dict[int, set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._backward: dict[str, dict[int, set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._edge_counts: dict[str, int] = defaultdict(int)
+
+    # -- construction ------------------------------------------------
+
+    def add_edge(self, source: int, label: str, target: int) -> bool:
+        """Insert one edge; returns False if it was already present."""
+        targets = self._forward[label][source]
+        if target in targets:
+            return False
+        targets.add(target)
+        self._backward[label][target].add(source)
+        self._edge_counts[label] += 1
+        return True
+
+    def add_edges(self, label: str, sources: np.ndarray, targets: np.ndarray) -> int:
+        """Bulk-insert parallel arrays of endpoints; returns #inserted."""
+        inserted = 0
+        for source, target in zip(sources.tolist(), targets.tolist()):
+            if self.add_edge(source, label, target):
+                inserted += 1
+        return inserted
+
+    # -- navigation ---------------------------------------------------
+
+    def labels(self) -> list[str]:
+        """Labels that occur on at least one edge."""
+        return [label for label, count in self._edge_counts.items() if count]
+
+    def successors(self, node: int, label: str) -> set[int]:
+        """Targets of ``label``-edges leaving ``node`` (empty set if none)."""
+        by_source = self._forward.get(label)
+        if by_source is None:
+            return set()
+        return by_source.get(node, set())
+
+    def predecessors(self, node: int, label: str) -> set[int]:
+        """Sources of ``label``-edges entering ``node``."""
+        by_target = self._backward.get(label)
+        if by_target is None:
+            return set()
+        return by_target.get(node, set())
+
+    def neighbours(self, node: int, symbol: str) -> set[int]:
+        """Navigate one step along ``symbol`` in ``Sigma±``.
+
+        A trailing ``-`` denotes the inverse predicate (paper §3.3), so
+        ``neighbours(v, "a-")`` follows ``a``-edges backwards.
+        """
+        if symbol.endswith("-"):
+            return self.predecessors(node, symbol[:-1])
+        return self.successors(node, symbol)
+
+    def edges_with_label(self, label: str) -> list[tuple[int, int]]:
+        """All (source, target) pairs carrying ``label``."""
+        by_source = self._forward.get(label, {})
+        return [(s, t) for s, targets in by_source.items() for t in targets]
+
+    def edge_arrays(self, label: str) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, targets) as parallel numpy arrays (engine fast path)."""
+        pairs = self.edges_with_label(label)
+        if not pairs:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        arr = np.asarray(pairs, dtype=np.int64)
+        return arr[:, 0], arr[:, 1]
+
+    def out_degree(self, node: int, label: str) -> int:
+        return len(self.successors(node, label))
+
+    def in_degree(self, node: int, label: str) -> int:
+        return len(self.predecessors(node, label))
+
+    def out_degrees(self, label: str) -> np.ndarray:
+        """Out-degree of every node for ``label`` (distribution tests)."""
+        degrees = np.zeros(self.n, dtype=np.int64)
+        for source, targets in self._forward.get(label, {}).items():
+            degrees[source] = len(targets)
+        return degrees
+
+    def in_degrees(self, label: str) -> np.ndarray:
+        """In-degree of every node for ``label``."""
+        degrees = np.zeros(self.n, dtype=np.int64)
+        for target, sources in self._backward.get(label, {}).items():
+            degrees[target] = len(sources)
+        return degrees
+
+    def type_of(self, node: int) -> str:
+        """Node type of a node id (delegates to the configuration)."""
+        return self.config.type_of(node)
+
+    def nodes_of_type(self, type_name: str) -> range:
+        """Node ids of one type, as a range (no materialisation)."""
+        type_range = self.config.ranges[type_name]
+        return range(type_range.start, type_range.stop)
+
+    # -- aggregates ---------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        return sum(self._edge_counts.values())
+
+    def statistics(self) -> GraphStatistics:
+        """Aggregate statistics used by reports and property tests."""
+        return GraphStatistics(
+            nodes=self.n,
+            edges=self.edge_count,
+            labels=len(self.labels()),
+            edges_per_label=dict(self._edge_counts),
+            nodes_per_type={
+                name: r.count for name, r in self.config.ranges.items()
+            },
+        )
+
+    def triples(self):
+        """Iterate all (source, label, target) triples (writer input)."""
+        for label, by_source in self._forward.items():
+            for source, targets in by_source.items():
+                for target in targets:
+                    yield source, label, target
+
+    def to_networkx(self):
+        """Export to a networkx MultiDiGraph (used by validation tests)."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(range(self.n))
+        for source, label, target in self.triples():
+            graph.add_edge(source, target, label=label)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"LabeledGraph(n={self.n}, edges={self.edge_count})"

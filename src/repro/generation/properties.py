@@ -1,0 +1,179 @@
+"""Verification of generated instances against their configuration.
+
+The Fig. 5 algorithm is heuristic: truncation can distort the exact
+distribution parameters, but the *types* of the distributions must be
+preserved (§4 — "our method relies on the types of distributions ...
+and not on the actual parameters").  This module checks exactly that
+contract, per edge constraint:
+
+* **uniform** sides: no participating node exceeds the configured max;
+* **Gaussian** sides: the realised degree mean tracks the *truncation-
+  adjusted* expectation (Fig. 5 line 8 keeps ``min(|v_src|, |v_trg|)``
+  edges, so the expected per-node mean shrinks accordingly) and the
+  tail stays light;
+* **Zipfian** sides: the realised degrees are heavy-tailed (hub degree
+  a large multiple of the mean);
+* occurrence constraints: per-type node counts match the configuration.
+
+Degrees are computed *per constraint* — a predicate may appear in
+several ``eta`` entries (e.g. LSN's ``likes`` towards both posts and
+comments), and each entry is checked against its own distributions.
+
+Used by the property-based test-suite and available to library users
+as a post-generation sanity check (`verify_instance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.generation.graph import LabeledGraph
+from repro.schema.distributions import (
+    Distribution,
+    GaussianDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+)
+from repro.schema.schema import EdgeConstraint
+
+#: Heavy-tail witness: hub degree must exceed this multiple of the mean.
+ZIPF_HUB_FACTOR = 4.0
+
+#: Relative tolerance on a Gaussian side's truncation-adjusted mean.
+GAUSSIAN_MEAN_TOLERANCE = 0.5
+
+
+@dataclass
+class InstanceReport:
+    """Outcome of verifying an instance against its configuration."""
+
+    violations: list[str] = field(default_factory=list)
+    checked_constraints: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceReport(ok={self.ok}, checked={self.checked_constraints}, "
+            f"violations={len(self.violations)})"
+        )
+
+
+def _constraint_degrees(
+    graph: LabeledGraph, constraint: EdgeConstraint
+) -> tuple[np.ndarray, np.ndarray]:
+    """(out-degrees of source type, in-degrees of target type) counting
+    only the edges belonging to this constraint's type pair."""
+    source_range = graph.config.ranges[constraint.source_type]
+    target_range = graph.config.ranges[constraint.target_type]
+    out_degrees = np.zeros(source_range.count, dtype=np.int64)
+    in_degrees = np.zeros(target_range.count, dtype=np.int64)
+    for source, target in graph.edges_with_label(constraint.predicate):
+        if source in source_range and target in target_range:
+            out_degrees[source - source_range.start] += 1
+            in_degrees[target - target_range.start] += 1
+    return out_degrees, in_degrees
+
+
+def _expected_edge_total(
+    constraint: EdgeConstraint, n_src: int, n_trg: int
+) -> float | None:
+    """Expected edge count after Fig. 5 truncation (None if unknowable)."""
+    out_total = (
+        n_src * constraint.out_dist.mean_degree()
+        if constraint.out_dist.is_specified()
+        else None
+    )
+    in_total = (
+        n_trg * constraint.in_dist.mean_degree()
+        if constraint.in_dist.is_specified()
+        else None
+    )
+    totals = [total for total in (out_total, in_total) if total is not None]
+    return min(totals) if totals else None
+
+
+def _check_side(
+    dist: Distribution,
+    degrees: np.ndarray,
+    expected_mean: float | None,
+    context: str,
+    report: InstanceReport,
+) -> None:
+    if not dist.is_specified() or len(degrees) == 0:
+        return
+    mean = float(degrees.mean())
+    if isinstance(dist, UniformDistribution):
+        if degrees.max() > dist.max_degree:
+            report.violations.append(
+                f"{context}: uniform max {dist.max_degree} exceeded "
+                f"(observed {int(degrees.max())})"
+            )
+    elif isinstance(dist, GaussianDistribution):
+        if expected_mean and expected_mean > 0.5:
+            drift = abs(mean - expected_mean) / expected_mean
+            if drift > GAUSSIAN_MEAN_TOLERANCE:
+                report.violations.append(
+                    f"{context}: gaussian mean {mean:.2f} far from "
+                    f"truncation-adjusted expectation {expected_mean:.2f}"
+                )
+        # Light tail: a rounded normal's max over thousands of draws
+        # stays within a comfortable multiple of sigma.
+        ceiling = dist.mu + max(8.0 * dist.sigma, 10.0)
+        if degrees.max() > ceiling:
+            report.violations.append(
+                f"{context}: gaussian max degree {int(degrees.max())} "
+                f"exceeds light-tail ceiling {ceiling:.1f}"
+            )
+    elif isinstance(dist, ZipfianDistribution):
+        # The hub witness needs enough edge mass to be meaningful: with
+        # fewer edges than nodes the "hub" cannot exceed a few edges.
+        if len(degrees) >= 50 and mean >= 1.0:
+            if degrees.max() < ZIPF_HUB_FACTOR * mean:
+                report.violations.append(
+                    f"{context}: zipfian side shows no hub "
+                    f"(max {int(degrees.max())} < {ZIPF_HUB_FACTOR}×mean {mean:.2f})"
+                )
+
+
+def verify_instance(graph: LabeledGraph) -> InstanceReport:
+    """Check a generated instance against its configuration's contract."""
+    report = InstanceReport()
+    config = graph.config
+
+    for type_name, constraint in config.schema.types.items():
+        expected = config.count_of(type_name)
+        if constraint.is_fixed and expected != constraint.count:
+            report.violations.append(
+                f"type {type_name!r}: expected fixed {constraint.count}, "
+                f"allocated {expected}"
+            )
+
+    for key, constraint in config.schema.edges.items():
+        context = f"eta{key}"
+        out_degrees, in_degrees = _constraint_degrees(graph, constraint)
+        expected_total = _expected_edge_total(
+            constraint, len(out_degrees), len(in_degrees)
+        )
+        expected_out = (
+            expected_total / len(out_degrees)
+            if expected_total is not None and len(out_degrees)
+            else None
+        )
+        expected_in = (
+            expected_total / len(in_degrees)
+            if expected_total is not None and len(in_degrees)
+            else None
+        )
+        _check_side(
+            constraint.out_dist, out_degrees, expected_out, context + ".out", report
+        )
+        _check_side(
+            constraint.in_dist, in_degrees, expected_in, context + ".in", report
+        )
+        report.checked_constraints += 1
+    return report

@@ -1,0 +1,114 @@
+"""Instance serialisation (Fig. 1: "Graph instance file").
+
+gMark emits graphs in formats compatible with the supported query
+languages: N-triples for RDF/SPARQL systems, a whitespace edge list for
+graph engines, and per-predicate CSV tables for relational loading
+(one two-column table per predicate, the standard UCRPQ-over-SQL
+encoding).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable
+
+from repro.generation.graph import LabeledGraph
+
+
+def _open_for_write(path: str | os.PathLike) -> IO[str]:
+    return open(path, "w", encoding="utf-8")
+
+
+def write_ntriples(
+    graph: LabeledGraph,
+    path: str | os.PathLike,
+    namespace: str = "http://example.org/gmark/",
+) -> int:
+    """Write the instance as N-triples; returns the triple count.
+
+    Nodes become IRIs ``<namespace>n<id>`` carrying their type as an
+    ``rdf:type`` triple, and each edge a predicate triple — the layout
+    SP2Bench-style SPARQL engines load directly.
+    """
+    rdf_type = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+    written = 0
+    with _open_for_write(path) as handle:
+        for type_name, type_range in graph.config.ranges.items():
+            type_iri = f"<{namespace}type/{type_name}>"
+            for node in range(type_range.start, type_range.stop):
+                handle.write(f"<{namespace}n{node}> {rdf_type} {type_iri} .\n")
+                written += 1
+        for source, label, target in graph.triples():
+            handle.write(
+                f"<{namespace}n{source}> <{namespace}p/{label}> "
+                f"<{namespace}n{target}> .\n"
+            )
+            written += 1
+    return written
+
+
+def write_edge_list(graph: LabeledGraph, path: str | os.PathLike) -> int:
+    """Write ``source label target`` lines; returns the edge count.
+
+    This is gMark's native ``.txt`` instance format.
+    """
+    written = 0
+    with _open_for_write(path) as handle:
+        for source, label, target in graph.triples():
+            handle.write(f"{source} {label} {target}\n")
+            written += 1
+    return written
+
+
+def write_csv_tables(
+    graph: LabeledGraph, directory: str | os.PathLike
+) -> dict[str, str]:
+    """Write one ``<label>.csv`` (source,target) table per predicate.
+
+    Returns a mapping from predicate to the file written.  This is the
+    relational encoding the PostgreSQL translation of §7 loads: one
+    binary relation per edge label.
+    """
+    os.makedirs(directory, exist_ok=True)
+    files: dict[str, str] = {}
+    for label in graph.labels():
+        path = os.path.join(str(directory), f"{label}.csv")
+        with _open_for_write(path) as handle:
+            handle.write("source,target\n")
+            for source, target in sorted(graph.edges_with_label(label)):
+                handle.write(f"{source},{target}\n")
+        files[label] = path
+    return files
+
+
+def read_edge_list(
+    path: str | os.PathLike, config
+) -> LabeledGraph:
+    """Load a graph previously written by :func:`write_edge_list`."""
+    graph = LabeledGraph(config)
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            source, label, target = parts[0], parts[1], parts[2]
+            graph.add_edge(int(source), label, int(target))
+    return graph
+
+
+def iter_ntriples(lines: Iterable[str]):
+    """Parse N-triples lines into (subject, predicate, object) strings.
+
+    Minimal parser for round-trip tests; handles only the IRI-based
+    triples this package writes.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.endswith("."):
+            continue
+        parts = line[:-1].split()
+        if len(parts) != 3:
+            continue
+        yield tuple(part.strip("<>") for part in parts)

@@ -1,0 +1,47 @@
+"""UCRPQ query model and workload generation (paper §3.3, §5).
+
+Queries are *unions of conjunctions of regular path queries*: sets of
+rules ``(?v) <- (?x1, r1, ?y1), ..., (?xn, rn, ?yn)`` whose ``r_i`` are
+regular expressions over ``Sigma±`` with Kleene star only at the
+outermost level.
+"""
+
+from repro.queries.ast import (
+    PathExpression,
+    RegularExpression,
+    Conjunct,
+    QueryRule,
+    Query,
+    inverse_symbol,
+    symbol_base,
+    is_inverse,
+)
+from repro.queries.parser import parse_query, parse_regex
+from repro.queries.size import QuerySize, Interval
+from repro.queries.shapes import QueryShape, build_skeleton, Skeleton, SkeletonConjunct
+from repro.queries.workload import WorkloadConfiguration, Workload, GeneratedQuery
+from repro.queries.generator import WorkloadGenerator, generate_workload
+
+__all__ = [
+    "PathExpression",
+    "RegularExpression",
+    "Conjunct",
+    "QueryRule",
+    "Query",
+    "inverse_symbol",
+    "symbol_base",
+    "is_inverse",
+    "parse_query",
+    "parse_regex",
+    "QuerySize",
+    "Interval",
+    "QueryShape",
+    "build_skeleton",
+    "Skeleton",
+    "SkeletonConjunct",
+    "WorkloadConfiguration",
+    "Workload",
+    "GeneratedQuery",
+    "WorkloadGenerator",
+    "generate_workload",
+]

@@ -1,0 +1,292 @@
+"""UCRPQ abstract syntax (paper §3.3).
+
+The paper restricts regular expressions to Kleene star at the outermost
+level only, so every expression has the normal form ``(P1 + ... + Pk)``
+or ``(P1 + ... + Pk)*`` where each ``P_i`` is a concatenation of zero or
+more symbols in ``Sigma±``.  The AST mirrors that normal form directly:
+
+* :class:`PathExpression` — one ``P_i`` (a tuple of symbols; empty = ε);
+* :class:`RegularExpression` — a disjunction of paths, optionally starred;
+* :class:`Conjunct` — ``(?x, r, ?y)``;
+* :class:`QueryRule` — head variables + body conjuncts;
+* :class:`Query` — a non-empty set of rules of equal arity.
+
+Symbols are plain strings; a trailing ``-`` marks the inverse predicate
+(``"a-"`` is ``a⁻``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+
+def is_inverse(symbol: str) -> bool:
+    """True for inverse symbols like ``"a-"``."""
+    return symbol.endswith("-")
+
+
+def symbol_base(symbol: str) -> str:
+    """The underlying predicate of a symbol (``"a-" -> "a"``)."""
+    return symbol[:-1] if is_inverse(symbol) else symbol
+
+
+def inverse_symbol(symbol: str) -> str:
+    """The inverse of a symbol (involutive)."""
+    return symbol_base(symbol) if is_inverse(symbol) else symbol + "-"
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A concatenation of zero or more symbols (one disjunct)."""
+
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for symbol in self.symbols:
+            if not symbol or symbol in {"-"}:
+                raise QuerySyntaxError(f"invalid symbol {symbol!r} in path")
+
+    @property
+    def length(self) -> int:
+        """Path length = number of symbols (the paper's ``l``)."""
+        return len(self.symbols)
+
+    @property
+    def is_epsilon(self) -> bool:
+        return not self.symbols
+
+    def reversed(self) -> "PathExpression":
+        """The path matching the same pairs in the opposite direction."""
+        return PathExpression(
+            tuple(inverse_symbol(s) for s in reversed(self.symbols))
+        )
+
+    def to_text(self) -> str:
+        if not self.symbols:
+            return "eps"
+        return ".".join(self.symbols)
+
+    def __repr__(self) -> str:
+        return f"PathExpression({self.to_text()})"
+
+
+@dataclass(frozen=True)
+class RegularExpression:
+    """``(P1 + ... + Pk)`` or ``(P1 + ... + Pk)*`` (k >= 1)."""
+
+    disjuncts: tuple[PathExpression, ...]
+    starred: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise QuerySyntaxError("a regular expression needs >= 1 disjunct")
+
+    # -- metrics -------------------------------------------------------
+
+    @property
+    def disjunct_count(self) -> int:
+        return len(self.disjuncts)
+
+    @property
+    def path_lengths(self) -> list[int]:
+        return [path.length for path in self.disjuncts]
+
+    @property
+    def symbols(self) -> set[str]:
+        """Every symbol (in ``Sigma±``) occurring in the expression."""
+        return {symbol for path in self.disjuncts for symbol in path.symbols}
+
+    @property
+    def predicates(self) -> set[str]:
+        """Every base predicate occurring in the expression."""
+        return {symbol_base(symbol) for symbol in self.symbols}
+
+    @property
+    def has_inverse(self) -> bool:
+        return any(is_inverse(symbol) for symbol in self.symbols)
+
+    @property
+    def has_concatenation(self) -> bool:
+        return any(path.length > 1 for path in self.disjuncts)
+
+    def reversed(self) -> "RegularExpression":
+        """Expression matching the inverse relation."""
+        return RegularExpression(
+            tuple(path.reversed() for path in self.disjuncts), self.starred
+        )
+
+    def to_text(self) -> str:
+        body = " + ".join(path.to_text() for path in self.disjuncts)
+        if self.starred:
+            return f"({body})*"
+        if len(self.disjuncts) > 1:
+            return f"({body})"
+        return body
+
+    def __repr__(self) -> str:
+        return f"RegularExpression({self.to_text()})"
+
+
+def atom(symbol: str) -> RegularExpression:
+    """Single-symbol expression."""
+    return RegularExpression((PathExpression((symbol,)),))
+
+
+def concat_path(*symbols: str) -> RegularExpression:
+    """Concatenation expression ``a.b.c``."""
+    return RegularExpression((PathExpression(tuple(symbols)),))
+
+
+def union(*paths: PathExpression, starred: bool = False) -> RegularExpression:
+    """Disjunction of path expressions, optionally starred."""
+    return RegularExpression(tuple(paths), starred)
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One body atom ``(?x, r, ?y)``."""
+
+    source: str
+    regex: RegularExpression
+    target: str
+
+    def __post_init__(self) -> None:
+        for var in (self.source, self.target):
+            if not var.startswith("?"):
+                raise QuerySyntaxError(f"variables must start with '?', got {var!r}")
+
+    def to_text(self) -> str:
+        return f"({self.source}, {self.regex.to_text()}, {self.target})"
+
+    def __repr__(self) -> str:
+        return f"Conjunct{self.to_text()}"
+
+
+@dataclass(frozen=True)
+class QueryRule:
+    """``(?v) <- conjunct, ..., conjunct``."""
+
+    head: tuple[str, ...]
+    body: tuple[Conjunct, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise QuerySyntaxError("a query rule needs >= 1 conjunct")
+        body_vars = self.variables
+        for var in self.head:
+            if var not in body_vars:
+                raise QuerySyntaxError(
+                    f"head variable {var} does not occur in the body"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def variables(self) -> set[str]:
+        """All variables occurring in the body."""
+        out: set[str] = set()
+        for conjunct in self.body:
+            out.add(conjunct.source)
+            out.add(conjunct.target)
+        return out
+
+    @property
+    def conjunct_count(self) -> int:
+        return len(self.body)
+
+    def to_text(self) -> str:
+        head = ", ".join(self.head)
+        body = ", ".join(conjunct.to_text() for conjunct in self.body)
+        return f"({head}) <- {body}"
+
+    def __repr__(self) -> str:
+        return f"QueryRule({self.to_text()})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A UCRPQ: a non-empty tuple of rules of identical arity."""
+
+    rules: tuple[QueryRule, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise QuerySyntaxError("a query needs >= 1 rule")
+        arities = {rule.arity for rule in self.rules}
+        if len(arities) > 1:
+            raise QuerySyntaxError(f"rules disagree on arity: {sorted(arities)}")
+
+    @property
+    def arity(self) -> int:
+        return self.rules[0].arity
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    @property
+    def is_binary(self) -> bool:
+        """Binary queries are the selectivity-controlled class (§1.2)."""
+        return self.arity == 2
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    @property
+    def predicates(self) -> set[str]:
+        return {
+            predicate
+            for rule in self.rules
+            for conjunct in rule.body
+            for predicate in conjunct.regex.predicates
+        }
+
+    @property
+    def has_recursion(self) -> bool:
+        return any(
+            conjunct.regex.starred for rule in self.rules for conjunct in rule.body
+        )
+
+    def size_tuple(self) -> tuple[int, tuple[int, int], tuple[int, int], tuple[int, int]]:
+        """The paper's query size: (#rules, conjunct range, disjunct
+        range, path-length range) — Example 3.4 reports the query size
+        ([2,2],[2,3],[1,2],[1,2]) in exactly these terms."""
+        conjuncts = [rule.conjunct_count for rule in self.rules]
+        disjuncts = [
+            conjunct.regex.disjunct_count
+            for rule in self.rules
+            for conjunct in rule.body
+        ]
+        lengths = [
+            length
+            for rule in self.rules
+            for conjunct in rule.body
+            for length in conjunct.regex.path_lengths
+        ]
+        return (
+            len(self.rules),
+            (min(conjuncts), max(conjuncts)),
+            (min(disjuncts), max(disjuncts)),
+            (min(lengths), max(lengths)) if lengths else (0, 0),
+        )
+
+    def to_text(self) -> str:
+        return "\n".join(rule.to_text() for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Query<{self.to_text()}>"
+
+
+def single_rule_query(head: tuple[str, ...], body: tuple[Conjunct, ...]) -> Query:
+    """Shortcut for the common one-rule case (§3.3 simplification)."""
+    return Query((QueryRule(head, body),))
+
+
+def binary_path_query(regex: RegularExpression) -> Query:
+    """The regular path query ``(?x, ?y) <- (?x, r, ?y)``."""
+    return single_rule_query(("?x", "?y"), (Conjunct("?x", regex, "?y"),))

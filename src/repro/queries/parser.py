@@ -1,0 +1,194 @@
+"""Textual UCRPQ parser (the inverse of the AST's ``to_text``).
+
+Grammar (whitespace-insensitive)::
+
+    query    := rule (";" | newline)* ...
+    rule     := "(" [varlist] ")" "<-" conjuncts
+    conjunct := "(" var "," regex "," var ")"
+    regex    := "(" union ")" "*"? | union
+    union    := path ("+" path)*
+    path     := "eps" | symbol ("." symbol)*
+    symbol   := identifier "-"?
+    var      := "?" identifier
+
+Examples::
+
+    parse_regex("(a.b + c)*")
+    parse_query("(?x, ?y) <- (?x, (a.b + c)*, ?y), (?y, a, ?x)")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.queries.ast import (
+    Conjunct,
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<VAR>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<SYMBOL>[A-Za-z_][A-Za-z0-9_]*-?)
+  | (?P<ARROW><-)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<STAR>\*)
+  | (?P<PLUS>\+)
+  | (?P<DOT>\.)
+  | (?P<COMMA>,)
+  | (?P<NEWLINE>[;\n])
+  | (?P<WS>[ \t\r]+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenise(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        if kind != "WS":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise QuerySyntaxError(f"expected {kind}, got {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind: str) -> str | None:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self._index += 1
+            return token[1]
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def parse_regex(text: str) -> RegularExpression:
+    """Parse a regular expression over ``Sigma±``."""
+    stream = _TokenStream(_tokenise(text))
+    regex = _parse_regex(stream)
+    if not stream.exhausted:
+        raise QuerySyntaxError(f"trailing input after regex: {stream.peek()[1]!r}")
+    return regex
+
+
+def parse_query(text: str) -> Query:
+    """Parse a full UCRPQ (one rule per line or ``;``-separated)."""
+    stream = _TokenStream(_tokenise(text))
+    rules: list[QueryRule] = []
+    while True:
+        while stream.accept("NEWLINE") is not None:
+            pass
+        if stream.exhausted:
+            break
+        rules.append(_parse_rule(stream))
+    if not rules:
+        raise QuerySyntaxError("empty query")
+    return Query(tuple(rules))
+
+
+def _parse_rule(stream: _TokenStream) -> QueryRule:
+    stream.expect("LPAREN")
+    head: list[str] = []
+    if stream.accept("RPAREN") is None:
+        while True:
+            head.append(stream.expect("VAR"))
+            if stream.accept("COMMA") is None:
+                break
+        stream.expect("RPAREN")
+    stream.expect("ARROW")
+    body = [_parse_conjunct(stream)]
+    while stream.accept("COMMA") is not None:
+        body.append(_parse_conjunct(stream))
+    return QueryRule(tuple(head), tuple(body))
+
+
+def _parse_conjunct(stream: _TokenStream) -> Conjunct:
+    stream.expect("LPAREN")
+    source = stream.expect("VAR")
+    stream.expect("COMMA")
+    regex = _parse_regex(stream, stop_at_comma=True)
+    stream.expect("COMMA")
+    target = stream.expect("VAR")
+    stream.expect("RPAREN")
+    return Conjunct(source, regex, target)
+
+
+def _parse_regex(stream: _TokenStream, stop_at_comma: bool = False) -> RegularExpression:
+    token = stream.peek()
+    if token is None:
+        raise QuerySyntaxError("expected a regular expression")
+    if token[0] == "LPAREN":
+        stream.next()
+        inner = _parse_union(stream)
+        stream.expect("RPAREN")
+        starred = stream.accept("STAR") is not None
+        return RegularExpression(tuple(inner), starred)
+    paths = _parse_union(stream, stop_at_comma=stop_at_comma)
+    return RegularExpression(tuple(paths))
+
+
+def _parse_union(
+    stream: _TokenStream, stop_at_comma: bool = False
+) -> list[PathExpression]:
+    paths = [_parse_path(stream)]
+    while True:
+        token = stream.peek()
+        if token is None:
+            break
+        if token[0] == "PLUS":
+            stream.next()
+            paths.append(_parse_path(stream))
+            continue
+        break
+    if stop_at_comma:
+        token = stream.peek()
+        if token is not None and token[0] not in ("COMMA", "RPAREN"):
+            raise QuerySyntaxError(f"unexpected token in regex: {token[1]!r}")
+    return paths
+
+
+def _parse_path(stream: _TokenStream) -> PathExpression:
+    first = stream.expect("SYMBOL")
+    if first == "eps":
+        return PathExpression(())
+    symbols = [first]
+    while stream.accept("DOT") is not None:
+        symbols.append(stream.expect("SYMBOL"))
+    return PathExpression(tuple(symbols))

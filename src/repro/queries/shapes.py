@@ -1,0 +1,175 @@
+"""Query skeletons and shapes (paper §5.1).
+
+A *skeleton* is the body of a query before placeholder instantiation: a
+set of conjuncts ``(?x_i, P_k, ?x_j)`` whose ``P_k`` are placeholders.
+gMark supports four shapes:
+
+* **chain** — ``(?x1,P1,?x2),(?x2,P2,?x3),...``;
+* **star** — chains of length one sharing the same starting variable;
+* **cycle** — two chains sharing both endpoint variables;
+* **star-chain** — a chain with star branches attached to its nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.rng import ensure_rng
+
+
+class QueryShape(enum.Enum):
+    """The four supported shapes ``f`` (Def. 3.5)."""
+
+    CHAIN = "chain"
+    STAR = "star"
+    CYCLE = "cycle"
+    STAR_CHAIN = "star-chain"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SkeletonConjunct:
+    """A conjunct whose regular expression is still a placeholder."""
+
+    source: str
+    placeholder: int
+    target: str
+
+    def __repr__(self) -> str:
+        return f"({self.source}, P{self.placeholder}, {self.target})"
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """An uninstantiated query body.
+
+    ``chain`` lists the placeholder ids that form the skeleton's primary
+    chain, in walk order — the spine along which the selectivity
+    machinery threads its schema-graph path.  For pure chains this is
+    every conjunct; for cycles it is the first of the two chains; for
+    stars each branch is its own (length-1) chain and ``chain`` holds
+    the first branch.
+    """
+
+    shape: QueryShape
+    conjuncts: tuple[SkeletonConjunct, ...]
+    chain: tuple[int, ...]
+
+    @property
+    def variables(self) -> list[str]:
+        """Variables in first-occurrence order."""
+        seen: list[str] = []
+        for conjunct in self.conjuncts:
+            for var in (conjunct.source, conjunct.target):
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    @property
+    def placeholder_count(self) -> int:
+        return len(self.conjuncts)
+
+    def endpoints(self) -> tuple[str, str]:
+        """The natural projection endpoints of the skeleton.
+
+        For chains, the two chain ends; for cycles, the shared endpoint
+        pair; for stars and star-chains, the centre and the last leaf.
+        """
+        first = self.conjuncts[self.chain[0]]
+        last = self.conjuncts[self.chain[-1]]
+        return first.source, last.target
+
+
+def _var(index: int) -> str:
+    return f"?x{index}"
+
+
+def build_skeleton(
+    shape: QueryShape,
+    conjunct_count: int,
+    rng: int | np.random.Generator | None = None,
+) -> Skeleton:
+    """Build a skeleton of ``shape`` with ``conjunct_count`` conjuncts.
+
+    (Fig. 6, line 2: ``get_query_skeleton(f, t)``.)
+    """
+    if conjunct_count < 1:
+        raise WorkloadError(f"a skeleton needs >= 1 conjunct, got {conjunct_count}")
+    rng = ensure_rng(rng)
+    if shape is QueryShape.CHAIN:
+        return _chain_skeleton(conjunct_count)
+    if shape is QueryShape.STAR:
+        return _star_skeleton(conjunct_count)
+    if shape is QueryShape.CYCLE:
+        return _cycle_skeleton(conjunct_count)
+    if shape is QueryShape.STAR_CHAIN:
+        return _star_chain_skeleton(conjunct_count, rng)
+    raise WorkloadError(f"unsupported shape: {shape!r}")
+
+
+def _chain_skeleton(count: int) -> Skeleton:
+    conjuncts = tuple(
+        SkeletonConjunct(_var(i), i, _var(i + 1)) for i in range(count)
+    )
+    return Skeleton(QueryShape.CHAIN, conjuncts, tuple(range(count)))
+
+
+def _star_skeleton(count: int) -> Skeleton:
+    """Chains of length one sharing the same starting variable ?x0."""
+    conjuncts = tuple(
+        SkeletonConjunct(_var(0), i, _var(i + 1)) for i in range(count)
+    )
+    return Skeleton(QueryShape.STAR, conjuncts, (0,))
+
+
+def _cycle_skeleton(count: int) -> Skeleton:
+    """Two chains sharing the same endpoint variables (§5.1).
+
+    The first chain takes ``ceil(count / 2)`` conjuncts from ?x0 to ?xm;
+    the second runs in parallel from ?x0 to ?xm through fresh variables.
+    With a single conjunct the cycle degenerates to a self-loop.
+    """
+    if count == 1:
+        conjunct = SkeletonConjunct(_var(0), 0, _var(0))
+        return Skeleton(QueryShape.CYCLE, (conjunct,), (0,))
+    first_len = (count + 1) // 2
+    second_len = count - first_len
+    conjuncts: list[SkeletonConjunct] = []
+    for i in range(first_len):
+        conjuncts.append(SkeletonConjunct(_var(i), i, _var(i + 1)))
+    end_var = _var(first_len)
+    # Second chain: ?x0 -> fresh ... fresh -> ?x_m.
+    previous = _var(0)
+    for j in range(second_len):
+        is_last = j == second_len - 1
+        target = end_var if is_last else _var(first_len + 1 + j)
+        conjuncts.append(SkeletonConjunct(previous, first_len + j, target))
+        previous = target
+    return Skeleton(QueryShape.CYCLE, tuple(conjuncts), tuple(range(first_len)))
+
+
+def _star_chain_skeleton(count: int, rng: np.random.Generator) -> Skeleton:
+    """A chain spine with star branches hanging off its nodes (§5.1)."""
+    if count <= 2:
+        return _chain_skeleton(count)
+    spine_len = max(2, int(rng.integers(2, count)))
+    branch_count = count - spine_len
+    conjuncts: list[SkeletonConjunct] = [
+        SkeletonConjunct(_var(i), i, _var(i + 1)) for i in range(spine_len)
+    ]
+    next_var = spine_len + 1
+    for b in range(branch_count):
+        # Attach each branch to a random spine node (not the final one,
+        # so the chain endpoints stay the natural projection pair).
+        anchor = int(rng.integers(0, spine_len))
+        conjuncts.append(
+            SkeletonConjunct(_var(anchor), spine_len + b, _var(next_var))
+        )
+        next_var += 1
+    return Skeleton(QueryShape.STAR_CHAIN, tuple(conjuncts), tuple(range(spine_len)))

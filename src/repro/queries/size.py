@@ -1,0 +1,93 @@
+"""Query size constraints ``t`` (paper §3.3).
+
+``t = ([r_min, r_max], [c_min, c_max], [d_min, d_max], [l_min, l_max])``
+bounds the number of rules, conjuncts per rule, disjuncts per conjunct,
+and symbols per disjunct path of generated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise WorkloadError(f"invalid interval [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Uniform draw from the interval."""
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi + 1))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo},{self.hi}]"
+
+
+def _as_interval(value) -> Interval:
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, int):
+        return Interval(value, value)
+    lo, hi = value
+    return Interval(int(lo), int(hi))
+
+
+@dataclass(frozen=True)
+class QuerySize:
+    """The four intervals of the paper's query-size tuple ``t``.
+
+    Accepts ints, pairs, or :class:`Interval` objects for each field::
+
+        QuerySize(rules=1, conjuncts=(2, 3), disjuncts=(1, 2), length=(1, 4))
+    """
+
+    rules: Interval = Interval(1, 1)
+    conjuncts: Interval = Interval(1, 3)
+    disjuncts: Interval = Interval(1, 1)
+    length: Interval = Interval(1, 3)
+
+    def __init__(self, rules=1, conjuncts=(1, 3), disjuncts=1, length=(1, 3)):
+        object.__setattr__(self, "rules", _as_interval(rules))
+        object.__setattr__(self, "conjuncts", _as_interval(conjuncts))
+        object.__setattr__(self, "disjuncts", _as_interval(disjuncts))
+        object.__setattr__(self, "length", _as_interval(length))
+
+    def admits(self, query) -> bool:
+        """True when a :class:`~repro.queries.ast.Query` fits every bound.
+
+        Path-length intervals tolerate the zero-length ε disjuncts that
+        star placeholders may introduce.
+        """
+        rule_count, conjuncts, disjuncts, lengths = query.size_tuple()
+        if rule_count not in self.rules:
+            return False
+        if conjuncts[0] not in self.conjuncts or conjuncts[1] not in self.conjuncts:
+            return False
+        if disjuncts[0] not in self.disjuncts or disjuncts[1] not in self.disjuncts:
+            return False
+        lo, hi = lengths
+        return (lo == 0 or lo in self.length or lo <= self.length.hi) and (
+            hi <= self.length.hi or hi in self.length
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySize(rules={self.rules!r}, conjuncts={self.conjuncts!r}, "
+            f"disjuncts={self.disjuncts!r}, length={self.length!r})"
+        )

@@ -1,0 +1,110 @@
+"""Query workload configurations and workloads (paper Def. 3.5).
+
+``Q = (G, #q, ar, f, e, p_r, t)``: a graph configuration, the number of
+queries, the allowed arities, shapes and selectivity classes, the
+probability of recursion, and the query size tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.queries.ast import Query
+from repro.queries.shapes import QueryShape
+from repro.queries.size import QuerySize
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.types import SelectivityClass
+
+
+@dataclass(frozen=True)
+class WorkloadConfiguration:
+    """All knobs of Fig. 1's "query workload configuration" box."""
+
+    graph: GraphConfiguration
+    size: int = 10  # the paper's #q
+    arities: tuple[int, ...] = (2,)
+    shapes: tuple[QueryShape, ...] = (QueryShape.CHAIN,)
+    selectivities: tuple[SelectivityClass, ...] = (
+        SelectivityClass.CONSTANT,
+        SelectivityClass.LINEAR,
+        SelectivityClass.QUADRATIC,
+    )
+    recursion_probability: float = 0.0  # the paper's p_r
+    query_size: QuerySize = field(default_factory=QuerySize)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise WorkloadError(f"#q must be >= 1, got {self.size}")
+        if not self.arities:
+            raise WorkloadError("at least one arity is required")
+        if any(a < 0 for a in self.arities):
+            raise WorkloadError(f"arities must be >= 0, got {self.arities}")
+        if not self.shapes:
+            raise WorkloadError("at least one shape is required")
+        if not self.selectivities:
+            raise WorkloadError("at least one selectivity class is required")
+        if not 0.0 <= self.recursion_probability <= 1.0:
+            raise WorkloadError(
+                f"recursion probability must be in [0,1], got {self.recursion_probability}"
+            )
+
+    @property
+    def wants_selectivity_control(self) -> bool:
+        """Selectivity tuning applies to binary queries only (§1.2)."""
+        return 2 in self.arities
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadConfiguration(#q={self.size}, ar={self.arities}, "
+            f"f={[s.value for s in self.shapes]}, "
+            f"e={[s.value for s in self.selectivities]}, "
+            f"pr={self.recursion_probability}, t={self.query_size!r})"
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One generated query plus its generation metadata.
+
+    ``selectivity`` is the class the generator *targeted* (None when the
+    query is not selectivity-controlled, e.g. non-binary arities);
+    ``estimated_alpha`` is the algebra's estimate for the query as built.
+    """
+
+    query: Query
+    shape: QueryShape
+    selectivity: SelectivityClass | None
+    estimated_alpha: int | None
+    relaxed: bool = False  # True if the generator relaxed a size bound
+
+    def __repr__(self) -> str:
+        sel = self.selectivity.value if self.selectivity else "-"
+        return f"GeneratedQuery({self.shape.value}, {sel}, α̂={self.estimated_alpha})"
+
+
+@dataclass
+class Workload:
+    """A generated workload: queries plus the configuration that made it."""
+
+    configuration: WorkloadConfiguration
+    queries: list[GeneratedQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> GeneratedQuery:
+        return self.queries[index]
+
+    def by_selectivity(self, selectivity: SelectivityClass) -> list[GeneratedQuery]:
+        """Queries generated for one selectivity class."""
+        return [q for q in self.queries if q.selectivity is selectivity]
+
+    def recursive_queries(self) -> list[GeneratedQuery]:
+        return [q for q in self.queries if q.query.has_recursion]
+
+    def __repr__(self) -> str:
+        return f"Workload({len(self.queries)} queries)"

@@ -1,0 +1,42 @@
+"""Seeded random-number plumbing.
+
+All stochastic components of the package (degree-sequence sampling, query
+skeleton drawing, path sampling) accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  Funnelling every caller
+through :func:`ensure_rng` keeps experiments reproducible end to end: a
+single seed at the top level determines the graph, the workload, and the
+benchmark inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted input.
+
+    ``None`` yields a fresh non-deterministic generator; an ``int`` seeds a
+    new PCG64 generator; an existing generator is passed through untouched
+    (so a caller can thread one generator through several components).
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise TypeError(
+        f"expected int seed, numpy Generator, or None; got {type(seed_or_rng).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a component wants to hand out sub-streams (e.g. one per
+    query) without coupling their consumption patterns.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,38 @@
+"""Built-in use-case scenarios (paper §6.1).
+
+* :func:`bib_schema` — **Bib**, the default bibliographical scenario of
+  the motivating example (Fig. 2);
+* :func:`lsn_schema` — **LSN**, the gMark encoding of the LDBC Social
+  Network Benchmark schema;
+* :func:`sp_schema` — **SP**, the gMark encoding of the DBLP-based
+  SP2Bench schema;
+* :func:`wd_schema` — **WD**, the gMark encoding of the WatDiv default
+  (users and products) schema — deliberately the densest of the four,
+  which is what drives its Table 3 generation times.
+"""
+
+from repro.scenarios.bib import bib_schema
+from repro.scenarios.lsn import lsn_schema
+from repro.scenarios.sp import sp_schema
+from repro.scenarios.wd import wd_schema
+
+SCENARIOS = {
+    "bib": bib_schema,
+    "lsn": lsn_schema,
+    "sp": sp_schema,
+    "wd": wd_schema,
+}
+
+
+def scenario_schema(name: str):
+    """Look up a scenario schema factory by its paper name."""
+    try:
+        return SCENARIOS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+__all__ = ["bib_schema", "lsn_schema", "sp_schema", "wd_schema",
+           "SCENARIOS", "scenario_schema"]

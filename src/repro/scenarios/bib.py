@@ -1,0 +1,71 @@
+"""The Bib scenario: the paper's motivating example (§3.1, Fig. 2).
+
+A bibliographical database: researchers author papers, papers are
+published in conferences (held in cities) and can be extended to
+journals.  The schema exercises every degree-distribution type:
+
+* ``authors``:      in Gaussian, out Zipfian (prolific-author hubs);
+* ``publishedIn``:  in Gaussian, out uniform [1,1] (exactly one venue);
+* ``extendedTo``:   in Gaussian, out uniform [0,1] (optional journal);
+* ``heldIn``:       in Zipfian, out uniform [1,1] (popular host cities).
+
+Node types follow Fig. 2(a): 50% researchers, 30% papers, 10% journals,
+10% conferences, and a *fixed* 100 cities — the fixed type is what makes
+constant-selectivity queries expressible at all.
+"""
+
+from __future__ import annotations
+
+from repro.schema import (
+    GaussianDistribution,
+    GraphSchema,
+    UniformDistribution,
+    ZipfianDistribution,
+    fixed,
+    proportion,
+)
+
+
+def bib_schema(city_count: int = 100) -> GraphSchema:
+    """Build the Bib schema of Fig. 2.
+
+    ``city_count`` is the fixed number of city nodes (100 in the paper).
+    """
+    schema = GraphSchema(name="bib")
+
+    schema.add_type("researcher", proportion(0.50))
+    schema.add_type("paper", proportion(0.30))
+    schema.add_type("journal", proportion(0.10))
+    schema.add_type("conference", proportion(0.10))
+    schema.add_type("city", fixed(city_count))
+
+    schema.add_predicate("authors", proportion(0.50))
+    schema.add_predicate("publishedIn", proportion(0.30))
+    schema.add_predicate("heldIn", proportion(0.10))
+    schema.add_predicate("extendedTo", proportion(0.10))
+
+    # Fig. 2(c): researcher -authors-> paper, Gaussian in / Zipfian out.
+    schema.add_edge(
+        "researcher", "paper", "authors",
+        in_dist=GaussianDistribution(mu=3.0, sigma=1.0),
+        out_dist=ZipfianDistribution(s=2.5, mean=2.0),
+    )
+    # paper -publishedIn-> conference, Gaussian in / exactly one out.
+    schema.add_edge(
+        "paper", "conference", "publishedIn",
+        in_dist=GaussianDistribution(mu=3.0, sigma=1.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    # paper -extendedTo-> journal, Gaussian in / zero-or-one out.
+    schema.add_edge(
+        "paper", "journal", "extendedTo",
+        in_dist=GaussianDistribution(mu=1.0, sigma=0.5),
+        out_dist=UniformDistribution(0, 1),
+    )
+    # conference -heldIn-> city, Zipfian in / exactly one out.
+    schema.add_edge(
+        "conference", "city", "heldIn",
+        in_dist=ZipfianDistribution(s=2.5, mean=2.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    return schema

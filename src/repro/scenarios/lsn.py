@@ -1,0 +1,121 @@
+"""The LSN scenario: gMark encoding of the LDBC Social Network schema.
+
+Simulates user activity in a social network (paper §6.1): persons know
+each other (the power-law ``knows`` relation whose transitive closure is
+the running quadratic example), create posts and comments in forums,
+like content, and are anchored to a *fixed* set of places, tags, and
+organisations — the fixed types that make constant queries expressible.
+
+The encoding keeps LDBC's key characteristics (types, labels, entity
+associations); subtyping and hardcoded correlations are out of gMark's
+scope (paper Appendix A) and are not modelled.
+"""
+
+from __future__ import annotations
+
+from repro.schema import (
+    GaussianDistribution,
+    GraphSchema,
+    NON_SPECIFIED,
+    UniformDistribution,
+    ZipfianDistribution,
+    fixed,
+    proportion,
+)
+
+
+def lsn_schema() -> GraphSchema:
+    """Build the LSN (LDBC Social Network) schema encoding."""
+    schema = GraphSchema(name="lsn")
+
+    schema.add_type("person", proportion(0.20))
+    schema.add_type("forum", proportion(0.10))
+    schema.add_type("post", proportion(0.35))
+    schema.add_type("comment", proportion(0.30))
+    schema.add_type("university", proportion(0.05))
+    schema.add_type("tag", fixed(80))
+    schema.add_type("city", fixed(60))
+    schema.add_type("country", fixed(30))
+
+    # Social graph: both in- and out-degree are power laws — hub users.
+    schema.add_edge(
+        "person", "person", "knows",
+        in_dist=ZipfianDistribution(s=2.5, mean=2.0),
+        out_dist=ZipfianDistribution(s=2.5, mean=2.0),
+    )
+    # Content creation.
+    schema.add_edge(
+        "post", "person", "hasCreator",
+        in_dist=ZipfianDistribution(s=2.5, mean=2.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "comment", "person", "hasCreator",
+        in_dist=ZipfianDistribution(s=2.5, mean=1.5),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "comment", "post", "replyOf",
+        in_dist=GaussianDistribution(mu=1.0, sigma=1.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    # Forums.
+    schema.add_edge(
+        "forum", "post", "containerOf",
+        in_dist=UniformDistribution(1, 1),
+        out_dist=GaussianDistribution(mu=3.5, sigma=1.0),
+    )
+    schema.add_edge(
+        "forum", "person", "hasModerator",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "forum", "person", "hasMember",
+        in_dist=GaussianDistribution(mu=4.0, sigma=2.0),
+        out_dist=GaussianDistribution(mu=4.0, sigma=2.0),
+    )
+    # Likes.
+    schema.add_edge(
+        "person", "post", "likes",
+        in_dist=ZipfianDistribution(s=2.5, mean=2.0),
+        out_dist=GaussianDistribution(mu=2.0, sigma=1.0),
+    )
+    schema.add_edge(
+        "person", "comment", "likes",
+        in_dist=GaussianDistribution(mu=1.0, sigma=1.0),
+        out_dist=GaussianDistribution(mu=1.0, sigma=1.0),
+    )
+    # Tagging (fixed tag pool → hub tags by construction).
+    schema.add_edge(
+        "post", "tag", "hasTag",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 3),
+    )
+    schema.add_edge(
+        "person", "tag", "hasInterest",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(0, 3),
+    )
+    # Geography / affiliation.
+    schema.add_edge(
+        "person", "city", "isLocatedIn",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "university", "city", "isLocatedIn",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "city", "country", "isPartOf",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "person", "university", "studyAt",
+        in_dist=GaussianDistribution(mu=2.0, sigma=1.0),
+        out_dist=UniformDistribution(0, 1),
+    )
+    return schema

@@ -1,0 +1,84 @@
+"""The SP scenario: gMark encoding of the SP2Bench (DBLP) schema.
+
+SP2Bench models the DBLP bibliography (paper §6.1): articles and
+inproceedings papers with authors, journals and proceedings as venues,
+citations between documents, and editors.  In SP2Bench itself every
+constraint is hardcoded and only the graph size is tunable — the gMark
+encoding exposes the same structure as declarative constraints.
+"""
+
+from __future__ import annotations
+
+from repro.schema import (
+    GaussianDistribution,
+    GraphSchema,
+    NON_SPECIFIED,
+    UniformDistribution,
+    ZipfianDistribution,
+    fixed,
+    proportion,
+)
+
+
+def sp_schema() -> GraphSchema:
+    """Build the SP (SP2Bench/DBLP) schema encoding."""
+    schema = GraphSchema(name="sp")
+
+    schema.add_type("person", proportion(0.35))
+    schema.add_type("article", proportion(0.30))
+    schema.add_type("inproceedings", proportion(0.15))
+    schema.add_type("journal", proportion(0.10))
+    schema.add_type("proceedings", proportion(0.10))
+    # DBLP's venue series (VLDB, SIGMOD, ...) barely grow over time.
+    schema.add_type("series", fixed(50))
+
+    # Authorship: DBLP author productivity is the canonical power law.
+    schema.add_edge(
+        "article", "person", "creator",
+        in_dist=ZipfianDistribution(s=2.2, mean=2.5),
+        out_dist=GaussianDistribution(mu=2.5, sigma=1.0),
+    )
+    schema.add_edge(
+        "inproceedings", "person", "creator",
+        in_dist=ZipfianDistribution(s=2.2, mean=2.5),
+        out_dist=GaussianDistribution(mu=3.0, sigma=1.0),
+    )
+    # Venues.
+    schema.add_edge(
+        "article", "journal", "journalRef",
+        in_dist=GaussianDistribution(mu=3.0, sigma=1.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "inproceedings", "proceedings", "partOf",
+        in_dist=GaussianDistribution(mu=1.5, sigma=0.5),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "proceedings", "series", "inSeries",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "journal", "series", "inSeries",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(0, 1),
+    )
+    # Citations: heavy-tailed in-degree (landmark papers).
+    schema.add_edge(
+        "article", "article", "cites",
+        in_dist=ZipfianDistribution(s=2.0, mean=2.0),
+        out_dist=GaussianDistribution(mu=2.0, sigma=1.0),
+    )
+    schema.add_edge(
+        "inproceedings", "article", "cites",
+        in_dist=ZipfianDistribution(s=2.0, mean=1.0),
+        out_dist=GaussianDistribution(mu=1.0, sigma=0.5),
+    )
+    # Editors.
+    schema.add_edge(
+        "proceedings", "person", "editor",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 3),
+    )
+    return schema

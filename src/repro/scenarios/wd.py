@@ -1,0 +1,116 @@
+"""The WD scenario: gMark encoding of the WatDiv default schema.
+
+WatDiv's default dataset description models an e-commerce domain of
+users, products, reviews, and retailers.  Its defining feature relative
+to the other scenarios is *density*: many edge constraints with high
+mean degrees, which is why WD instances carry roughly two orders of
+magnitude more edges than Bib at equal node counts and dominate the
+Table 3 generation times (paper §6.2).
+"""
+
+from __future__ import annotations
+
+from repro.schema import (
+    GaussianDistribution,
+    GraphSchema,
+    NON_SPECIFIED,
+    UniformDistribution,
+    ZipfianDistribution,
+    fixed,
+    proportion,
+)
+
+
+def wd_schema() -> GraphSchema:
+    """Build the WD (WatDiv users-and-products) schema encoding."""
+    schema = GraphSchema(name="wd")
+
+    schema.add_type("user", proportion(0.35))
+    schema.add_type("product", proportion(0.25))
+    schema.add_type("review", proportion(0.30))
+    schema.add_type("offer", proportion(0.10))
+    schema.add_type("retailer", fixed(60))
+    schema.add_type("genre", fixed(30))
+    schema.add_type("country", fixed(25))
+    schema.add_type("language", fixed(15))
+
+    # Social / interest edges (dense).
+    schema.add_edge(
+        "user", "user", "follows",
+        in_dist=ZipfianDistribution(s=2.0, mean=6.0),
+        out_dist=ZipfianDistribution(s=2.0, mean=6.0),
+    )
+    schema.add_edge(
+        "user", "product", "likes",
+        in_dist=ZipfianDistribution(s=2.0, mean=8.0),
+        out_dist=GaussianDistribution(mu=8.0, sigma=3.0),
+    )
+    schema.add_edge(
+        "user", "product", "purchased",
+        in_dist=GaussianDistribution(mu=6.0, sigma=2.0),
+        out_dist=GaussianDistribution(mu=6.0, sigma=2.0),
+    )
+    schema.add_edge(
+        "user", "genre", "interestedIn",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 5),
+    )
+    schema.add_edge(
+        "user", "country", "nationality",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "user", "language", "speaks",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 2),
+    )
+    # Reviews (every review has an author and a subject; users write many).
+    schema.add_edge(
+        "review", "user", "reviewer",
+        in_dist=ZipfianDistribution(s=2.0, mean=3.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "review", "product", "reviewFor",
+        in_dist=ZipfianDistribution(s=2.0, mean=3.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "user", "review", "endorses",
+        in_dist=GaussianDistribution(mu=4.0, sigma=2.0),
+        out_dist=GaussianDistribution(mu=4.0, sigma=2.0),
+    )
+    # Products.
+    schema.add_edge(
+        "product", "genre", "hasGenre",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 3),
+    )
+    schema.add_edge(
+        "product", "product", "relatedTo",
+        in_dist=GaussianDistribution(mu=5.0, sigma=2.0),
+        out_dist=GaussianDistribution(mu=5.0, sigma=2.0),
+    )
+    schema.add_edge(
+        "product", "country", "producedIn",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    # Offers and retailers.
+    schema.add_edge(
+        "offer", "product", "offerFor",
+        in_dist=GaussianDistribution(mu=2.5, sigma=1.0),
+        out_dist=UniformDistribution(1, 1),
+    )
+    schema.add_edge(
+        "retailer", "offer", "sells",
+        in_dist=UniformDistribution(1, 1),
+        out_dist=NON_SPECIFIED,
+    )
+    schema.add_edge(
+        "retailer", "country", "basedIn",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    return schema

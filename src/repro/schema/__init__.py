@@ -1,0 +1,46 @@
+"""Graph schema formalism (paper §3.2, Definitions 3.1 and 3.2).
+
+A :class:`GraphSchema` bundles the predicate alphabet, node types,
+occurrence constraints, and degree-distribution constraints; a
+:class:`GraphConfiguration` pairs a schema with a target node count and
+resolves the per-type node-id ranges used by the generator.
+"""
+
+from repro.schema.distributions import (
+    Distribution,
+    GaussianDistribution,
+    NonSpecified,
+    UniformDistribution,
+    ZipfianDistribution,
+    NON_SPECIFIED,
+)
+from repro.schema.constraints import OccurrenceConstraint, fixed, proportion
+from repro.schema.schema import (
+    EdgeConstraint,
+    GraphSchema,
+    EXACTLY_ONE,
+    OPTIONAL_ONE,
+    ZERO,
+)
+from repro.schema.config import GraphConfiguration
+from repro.schema.validate import validate_schema, SchemaDiagnostics
+
+__all__ = [
+    "Distribution",
+    "UniformDistribution",
+    "GaussianDistribution",
+    "ZipfianDistribution",
+    "NonSpecified",
+    "NON_SPECIFIED",
+    "OccurrenceConstraint",
+    "fixed",
+    "proportion",
+    "EdgeConstraint",
+    "GraphSchema",
+    "EXACTLY_ONE",
+    "OPTIONAL_ONE",
+    "ZERO",
+    "GraphConfiguration",
+    "validate_schema",
+    "SchemaDiagnostics",
+]

@@ -1,0 +1,134 @@
+"""Graph configurations ``G = (n, S)`` (Definition 3.2).
+
+A configuration resolves the schema's occurrence constraints against a
+concrete node count ``n`` and allocates a contiguous node-id range to
+each type.  Fixed-count types are served first; proportional types then
+share the remaining budget pro rata, so a schema mixing ``fixed(100)``
+cities with ``50%`` researchers behaves exactly as Fig. 2 describes at
+every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.schema.schema import GraphSchema
+
+
+@dataclass(frozen=True)
+class TypeRange:
+    """Half-open node-id interval ``[start, stop)`` for one node type."""
+
+    type_name: str
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def node_id(self, index: int) -> int:
+        """Global id of the ``index``-th node of this type (paper: id_T)."""
+        if not 0 <= index < self.count:
+            raise IndexError(
+                f"type {self.type_name!r} has {self.count} nodes; index {index}"
+            )
+        return self.start + index
+
+    def __contains__(self, node: int) -> bool:
+        return self.start <= node < self.stop
+
+
+@dataclass
+class GraphConfiguration:
+    """A schema plus a target node count, with resolved id ranges."""
+
+    n: int
+    schema: GraphSchema
+    ranges: dict[str, TypeRange] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"graph size must be positive, got {self.n}")
+        self.ranges = self._allocate_ranges()
+
+    def _allocate_ranges(self) -> dict[str, TypeRange]:
+        fixed_total = sum(
+            c.count for c in self.schema.types.values() if c.is_fixed
+        )
+        if fixed_total > self.n:
+            raise ConfigurationError(
+                f"fixed-count types need {fixed_total} nodes but the "
+                f"configuration asks for only n={self.n}"
+            )
+        remaining = self.n - fixed_total
+        fraction_total = sum(
+            c.fraction for c in self.schema.types.values() if c.is_proportional
+        )
+
+        counts: dict[str, int] = {}
+        for name, constraint in self.schema.types.items():
+            if constraint.is_fixed:
+                counts[name] = constraint.count
+            elif fraction_total > 0:
+                # Normalise so that proportions summing to e.g. 100% fill
+                # exactly the non-fixed budget even after rounding.
+                counts[name] = int(round(remaining * constraint.fraction / fraction_total))
+            else:
+                counts[name] = 0
+
+        # Fix rounding drift by adjusting the largest proportional type.
+        proportional = [n_ for n_, c in self.schema.types.items() if c.is_proportional]
+        drift = self.n - sum(counts.values())
+        if drift and proportional:
+            largest = max(proportional, key=lambda t: counts[t])
+            if counts[largest] + drift < 0:
+                raise ConfigurationError(
+                    f"cannot allocate node ranges: drift {drift} exceeds "
+                    f"largest type {largest!r} ({counts[largest]} nodes)"
+                )
+            counts[largest] += drift
+
+        ranges: dict[str, TypeRange] = {}
+        cursor = 0
+        for name in self.schema.types:
+            ranges[name] = TypeRange(name, cursor, cursor + counts[name])
+            cursor += counts[name]
+        return ranges
+
+    # -- lookups -----------------------------------------------------
+
+    def count_of(self, type_name: str) -> int:
+        """``n_T``: number of nodes of ``type_name`` in this instance."""
+        try:
+            return self.ranges[type_name].count
+        except KeyError:
+            raise ConfigurationError(f"unknown node type {type_name!r}") from None
+
+    def node_id(self, type_name: str, index: int) -> int:
+        """``id_T(index)``: global id of a node of ``type_name`` (Fig. 5)."""
+        return self.ranges[type_name].node_id(index)
+
+    def type_of(self, node: int) -> str:
+        """Node type of a global node id."""
+        for name, rng in self.ranges.items():
+            if node in rng:
+                return name
+        raise ConfigurationError(f"node id {node} outside all type ranges (n={self.n})")
+
+    @property
+    def total_nodes(self) -> int:
+        """Actual number of allocated nodes (== n up to rounding rescue)."""
+        return sum(r.count for r in self.ranges.values())
+
+    def scaled(self, n: int) -> "GraphConfiguration":
+        """A configuration over the same schema with a different size.
+
+        Selectivity experiments evaluate the same workload on a family of
+        instance sizes (e.g. 2K..32K); this helper builds that family.
+        """
+        return GraphConfiguration(n, self.schema)
+
+    def __repr__(self) -> str:
+        return f"GraphConfiguration(n={self.n}, schema={self.schema.name!r})"

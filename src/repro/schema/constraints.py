@@ -1,0 +1,76 @@
+"""Occurrence constraints ``T`` on node types and predicates (Def. 3.1).
+
+A constraint fixes either an absolute count (``fixed(100)`` — e.g. the
+number of cities does not grow with the graph) or a proportion of the
+total size (``proportion(0.5)`` — half of all nodes are researchers).
+
+The distinction carries semantic weight beyond sizing: the selectivity
+algebra (§5.2.2) assigns ``Type(A) = 1`` to fixed-count types and
+``Type(A) = N`` to proportional ones, which is what makes queries
+touching a fixed type *constant* rather than linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class OccurrenceConstraint:
+    """Either a fixed count or a proportion of the graph size.
+
+    Exactly one of :attr:`count` and :attr:`fraction` is set.
+    """
+
+    count: int | None = None
+    fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.count is None) == (self.fraction is None):
+            raise SchemaError(
+                "an occurrence constraint needs exactly one of count / fraction"
+            )
+        if self.count is not None and self.count < 0:
+            raise SchemaError(f"fixed count must be >= 0, got {self.count}")
+        if self.fraction is not None and not 0.0 <= self.fraction <= 1.0:
+            raise SchemaError(f"proportion must be in [0, 1], got {self.fraction}")
+
+    @property
+    def is_fixed(self) -> bool:
+        """True for fixed-count constraints (selectivity type ``1``)."""
+        return self.count is not None
+
+    @property
+    def is_proportional(self) -> bool:
+        """True for proportional constraints (selectivity type ``N``)."""
+        return self.fraction is not None
+
+    def resolve(self, total: int) -> int:
+        """Number of occurrences for a graph of ``total`` nodes."""
+        if self.count is not None:
+            return self.count
+        assert self.fraction is not None
+        return int(round(total * self.fraction))
+
+    def __repr__(self) -> str:
+        if self.count is not None:
+            return f"fixed({self.count})"
+        return f"proportion({self.fraction})"
+
+
+def fixed(count: int) -> OccurrenceConstraint:
+    """Constraint: exactly ``count`` occurrences, regardless of graph size."""
+    return OccurrenceConstraint(count=count)
+
+
+def proportion(fraction: float) -> OccurrenceConstraint:
+    """Constraint: ``fraction`` of the total graph size.
+
+    Accepts either a ratio in ``[0, 1]`` or a percentage in ``(1, 100]``
+    for convenience (the paper's Fig. 2 uses percentages).
+    """
+    if 1.0 < fraction <= 100.0:
+        fraction = fraction / 100.0
+    return OccurrenceConstraint(fraction=fraction)

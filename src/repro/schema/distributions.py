@@ -1,0 +1,245 @@
+"""Degree distributions supported by gMark (paper §3.2).
+
+The paper supports uniform, Gaussian (normal), and Zipfian in/out-degree
+distributions, plus a *non-specified* marker meaning "let the other side
+of the constraint decide".  Each distribution knows how to
+
+* sample a vector of non-negative integer degrees (one per node),
+* report its mean degree (used by the Gaussian fast path of §4 and by
+  the schema validator), and
+* report whether node degrees drawn from it stay bounded as the graph
+  grows — the property the selectivity algebra of §5.2 is built on
+  (Zipfian is the only unbounded one: its heavy tail produces hub nodes
+  whose degree grows with the instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class Distribution:
+    """Abstract degree distribution.
+
+    Concrete subclasses are immutable dataclasses so they can be shared
+    freely between schema objects and used as dict keys.
+    """
+
+    #: short tag used by the XML config format and reprs
+    kind: str = "abstract"
+
+    def sample_degrees(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` non-negative integer degrees."""
+        raise NotImplementedError
+
+    def mean_degree(self) -> float:
+        """Expected degree of a single node."""
+        raise NotImplementedError
+
+    def is_bounded(self) -> bool:
+        """True if the maximum degree stays O(1) as the graph grows."""
+        raise NotImplementedError
+
+    def is_specified(self) -> bool:
+        """False only for the :data:`NON_SPECIFIED` marker."""
+        return True
+
+
+@dataclass(frozen=True)
+class UniformDistribution(Distribution):
+    """Uniform integer degrees in ``[min_degree, max_degree]``."""
+
+    min_degree: int = 1
+    max_degree: int = 1
+
+    kind = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.min_degree < 0:
+            raise SchemaError(f"uniform min degree must be >= 0, got {self.min_degree}")
+        if self.max_degree < self.min_degree:
+            raise SchemaError(
+                f"uniform max degree {self.max_degree} < min degree {self.min_degree}"
+            )
+
+    def sample_degrees(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(self.min_degree, self.max_degree + 1, size=count)
+
+    def mean_degree(self) -> float:
+        return (self.min_degree + self.max_degree) / 2.0
+
+    def is_bounded(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"uniform[{self.min_degree},{self.max_degree}]"
+
+
+@dataclass(frozen=True)
+class GaussianDistribution(Distribution):
+    """Gaussian degrees: ``round(N(mu, sigma))`` clamped to be >= 0."""
+
+    mu: float = 3.0
+    sigma: float = 1.0
+
+    kind = "gaussian"
+
+    def __post_init__(self) -> None:
+        if self.mu < 0:
+            raise SchemaError(f"gaussian mean must be >= 0, got {self.mu}")
+        if self.sigma < 0:
+            raise SchemaError(f"gaussian sigma must be >= 0, got {self.sigma}")
+
+    def sample_degrees(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        raw = rng.normal(self.mu, self.sigma, size=count)
+        return np.maximum(np.rint(raw), 0).astype(np.int64)
+
+    def mean_degree(self) -> float:
+        # Clamping at zero biases the mean upward slightly for small mu;
+        # for the schema sizes used in practice (mu >= sigma) the raw mean
+        # is an accurate estimate and is what the gMark fast path uses.
+        return self.mu
+
+    def is_bounded(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"gaussian(mu={self.mu}, sigma={self.sigma})"
+
+
+@dataclass(frozen=True)
+class ZipfianDistribution(Distribution):
+    """Zipfian (power-law) degrees with exponent ``s``.
+
+    Degrees are i.i.d. draws from the Zipf law ``P(k) ∝ k**-s``
+    (truncated at the opposite side's node count), rescaled to hit the
+    target ``mean``.  The heavy tail produces hub nodes whose maximum
+    degree grows like ``count**(1/(s-1))`` — unbounded in the graph
+    size, which is exactly the behaviour the §5.2 selectivity algebra
+    classifies as ``<``/``>``, while keeping the quadratic class's β
+    small as in the paper's Table 2 / Fig. 11 measurements.
+    """
+
+    s: float = 2.5
+    mean: float = 2.0
+
+    kind = "zipfian"
+
+    def __post_init__(self) -> None:
+        if self.s <= 1.0:
+            raise SchemaError(f"zipfian exponent must be > 1, got {self.s}")
+        if self.mean <= 0:
+            raise SchemaError(f"zipfian mean degree must be > 0, got {self.mean}")
+
+    def sample_degrees(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        draws = rng.zipf(self.s, size=count).astype(np.float64)
+        np.clip(draws, 1, count, out=draws)
+        empirical_mean = draws.mean()
+        if empirical_mean > 0:
+            draws *= self.mean / empirical_mean
+        return np.maximum(np.rint(draws), 0).astype(np.int64)
+
+    def sample_degrees_with_total(
+        self, count: int, total: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Zipfian *shares*: degrees summing to ≈``total``.
+
+        This is the Fig. 2(c) reading of a Zipfian side ("the number of
+        conferences per city follows a Zipfian distribution"): the side
+        does not impose its own edge budget but splits the opposite
+        side's budget as power-law shares.  Without it, edges into a
+        fixed-count type would saturate instead of concentrating on
+        hubs, and ``(N,>,1)`` constraints would never be realised.
+        """
+        if count == 0 or total == 0:
+            return np.zeros(count, dtype=np.int64)
+        weights = rng.zipf(self.s, size=count).astype(np.float64)
+        np.clip(weights, 1, max(count, total), out=weights)
+        degrees = np.rint(weights * (total / weights.sum())).astype(np.int64)
+        return degrees
+
+    def mean_degree(self) -> float:
+        return self.mean
+
+    def is_bounded(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"zipfian(s={self.s}, mean={self.mean})"
+
+
+@dataclass(frozen=True)
+class NonSpecified(Distribution):
+    """Marker distribution: "let the opposite side decide" (paper §3.2).
+
+    The generator fills the non-specified side of an edge constraint with
+    uniform random node draws matched to the specified side's edge
+    budget; the validator rejects constraints where *both* sides are
+    non-specified.
+    """
+
+    kind = "non-specified"
+
+    def sample_degrees(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        raise SchemaError("a non-specified distribution cannot be sampled directly")
+
+    def mean_degree(self) -> float:
+        raise SchemaError("a non-specified distribution has no mean degree")
+
+    def is_bounded(self) -> bool:
+        # Degrees on the non-specified side arise from uniform random
+        # matching, whose maximum grows only logarithmically; treated as
+        # bounded for selectivity purposes unless type cardinalities say
+        # otherwise (handled in selectivity.edge_classes).
+        return True
+
+    def is_specified(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "non-specified"
+
+
+#: Shared singleton for the non-specified marker.
+NON_SPECIFIED = NonSpecified()
+
+
+def distribution_from_dict(data: dict) -> Distribution:
+    """Build a distribution from a plain dict (used by the XML loader).
+
+    Expected shapes::
+
+        {"type": "uniform", "min": 1, "max": 3}
+        {"type": "gaussian", "mu": 3.0, "sigma": 1.0}
+        {"type": "zipfian", "s": 2.5, "mean": 2.0}
+        {"type": "non-specified"}
+    """
+    kind = data.get("type")
+    if kind == "uniform":
+        return UniformDistribution(int(data.get("min", 1)), int(data.get("max", 1)))
+    if kind == "gaussian":
+        return GaussianDistribution(float(data.get("mu", 3.0)), float(data.get("sigma", 1.0)))
+    if kind == "zipfian":
+        return ZipfianDistribution(float(data.get("s", 2.5)), float(data.get("mean", 2.0)))
+    if kind in ("non-specified", "ns", None):
+        return NON_SPECIFIED
+    raise SchemaError(f"unknown distribution type: {kind!r}")
+
+
+def distribution_to_dict(dist: Distribution) -> dict:
+    """Inverse of :func:`distribution_from_dict`."""
+    if isinstance(dist, UniformDistribution):
+        return {"type": "uniform", "min": dist.min_degree, "max": dist.max_degree}
+    if isinstance(dist, GaussianDistribution):
+        return {"type": "gaussian", "mu": dist.mu, "sigma": dist.sigma}
+    if isinstance(dist, ZipfianDistribution):
+        return {"type": "zipfian", "s": dist.s, "mean": dist.mean}
+    if isinstance(dist, NonSpecified):
+        return {"type": "non-specified"}
+    raise SchemaError(f"unknown distribution object: {dist!r}")

@@ -1,0 +1,184 @@
+"""The graph schema ``S = (Sigma, Theta, T, eta)`` (Definition 3.1).
+
+``Sigma`` is the predicate (edge label) alphabet, ``Theta`` the set of
+node types, ``T`` maps predicates and types to occurrence constraints,
+and ``eta`` maps ``(source_type, target_type, predicate)`` triples to a
+pair of in/out degree distributions.
+
+The module also provides the paper's three standard macros (§3.4):
+
+* :data:`EXACTLY_ONE` — ``"1"``: exactly one outgoing edge per source;
+* :data:`OPTIONAL_ONE` — ``"?"``: zero or one outgoing edge per source;
+* :data:`ZERO` — ``"0"``: no edges (used by the NP-hardness reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.constraints import OccurrenceConstraint
+from repro.schema.distributions import (
+    Distribution,
+    NON_SPECIFIED,
+    UniformDistribution,
+)
+
+#: Macro "1": non-specified in-distribution, uniform out in [1, 1].
+EXACTLY_ONE = (NON_SPECIFIED, UniformDistribution(1, 1))
+
+#: Macro "?": non-specified in-distribution, uniform out in [0, 1].
+OPTIONAL_ONE = (NON_SPECIFIED, UniformDistribution(0, 1))
+
+#: Macro "0": no edges at all for this (source, target, predicate) triple.
+ZERO = (NON_SPECIFIED, UniformDistribution(0, 0))
+
+
+@dataclass(frozen=True)
+class EdgeConstraint:
+    """One entry of ``eta``: degree distributions for a typed predicate.
+
+    ``eta(source_type, target_type, predicate) = (in_dist, out_dist)``.
+    ``out_dist`` governs how many ``predicate``-labelled edges leave each
+    node of ``source_type`` (towards ``target_type``); ``in_dist``
+    governs how many arrive at each node of ``target_type``.
+    """
+
+    source_type: str
+    target_type: str
+    predicate: str
+    in_dist: Distribution
+    out_dist: Distribution
+
+    def __post_init__(self) -> None:
+        if not self.in_dist.is_specified() and not self.out_dist.is_specified():
+            raise SchemaError(
+                f"eta({self.source_type}, {self.target_type}, {self.predicate}): "
+                "at least one of the in/out distributions must be specified"
+            )
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Dictionary key ``(source_type, target_type, predicate)``."""
+        return (self.source_type, self.target_type, self.predicate)
+
+    def __repr__(self) -> str:
+        return (
+            f"eta({self.source_type}, {self.target_type}, {self.predicate}) = "
+            f"(in={self.in_dist!r}, out={self.out_dist!r})"
+        )
+
+
+@dataclass
+class GraphSchema:
+    """A gMark graph schema (Definition 3.1).
+
+    Instances are assembled incrementally::
+
+        schema = GraphSchema(name="bib")
+        schema.add_type("researcher", proportion(0.5))
+        schema.add_type("city", fixed(100))
+        schema.add_predicate("authors", proportion(0.5))
+        schema.add_edge("researcher", "paper", "authors",
+                        in_dist=GaussianDistribution(3, 1),
+                        out_dist=ZipfianDistribution(2.5))
+
+    or declaratively via the scenario modules / the XML loader.
+    """
+
+    name: str = "schema"
+    types: dict[str, OccurrenceConstraint] = field(default_factory=dict)
+    predicates: dict[str, OccurrenceConstraint | None] = field(default_factory=dict)
+    edges: dict[tuple[str, str, str], EdgeConstraint] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------
+
+    def add_type(self, name: str, constraint: OccurrenceConstraint) -> None:
+        """Declare a node type with its occurrence constraint."""
+        if name in self.types:
+            raise SchemaError(f"node type {name!r} declared twice")
+        self.types[name] = constraint
+
+    def add_predicate(
+        self, name: str, constraint: OccurrenceConstraint | None = None
+    ) -> None:
+        """Declare an edge predicate.
+
+        The occurrence constraint on predicates is advisory in gMark (the
+        actual edge counts follow from ``eta``); it is kept because the
+        configuration format of Fig. 1/Fig. 2(b) includes it and the
+        validator cross-checks it against the degree constraints.
+        """
+        if name in self.predicates:
+            raise SchemaError(f"predicate {name!r} declared twice")
+        self.predicates[name] = constraint
+
+    def add_edge(
+        self,
+        source_type: str,
+        target_type: str,
+        predicate: str,
+        in_dist: Distribution = NON_SPECIFIED,
+        out_dist: Distribution = NON_SPECIFIED,
+    ) -> EdgeConstraint:
+        """Add an ``eta`` entry; auto-declares unseen predicates."""
+        for type_name in (source_type, target_type):
+            if type_name not in self.types:
+                raise SchemaError(
+                    f"edge constraint refers to undeclared node type {type_name!r}"
+                )
+        if predicate not in self.predicates:
+            self.predicates[predicate] = None
+        constraint = EdgeConstraint(source_type, target_type, predicate, in_dist, out_dist)
+        if constraint.key in self.edges:
+            raise SchemaError(f"eta{constraint.key} declared twice")
+        self.edges[constraint.key] = constraint
+        return constraint
+
+    def add_edge_macro(
+        self,
+        source_type: str,
+        target_type: str,
+        predicate: str,
+        macro: tuple[Distribution, Distribution],
+    ) -> EdgeConstraint:
+        """Add an edge constraint using one of the §3.4 macros."""
+        in_dist, out_dist = macro
+        return self.add_edge(source_type, target_type, predicate, in_dist, out_dist)
+
+    # -- queries -----------------------------------------------------
+
+    @property
+    def alphabet(self) -> list[str]:
+        """``Sigma``: the predicate alphabet, in declaration order."""
+        return list(self.predicates)
+
+    @property
+    def type_names(self) -> list[str]:
+        """``Theta``: the node types, in declaration order."""
+        return list(self.types)
+
+    def edges_with_predicate(self, predicate: str) -> list[EdgeConstraint]:
+        """All ``eta`` entries carrying ``predicate``."""
+        return [c for c in self.edges.values() if c.predicate == predicate]
+
+    def edges_from(self, source_type: str) -> list[EdgeConstraint]:
+        """All ``eta`` entries whose source is ``source_type``."""
+        return [c for c in self.edges.values() if c.source_type == source_type]
+
+    def edges_to(self, target_type: str) -> list[EdgeConstraint]:
+        """All ``eta`` entries whose target is ``target_type``."""
+        return [c for c in self.edges.values() if c.target_type == target_type]
+
+    def type_is_fixed(self, type_name: str) -> bool:
+        """True if the type has a fixed occurrence count (``Type(A)=1``)."""
+        try:
+            return self.types[type_name].is_fixed
+        except KeyError:
+            raise SchemaError(f"unknown node type {type_name!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSchema({self.name!r}: {len(self.types)} types, "
+            f"{len(self.predicates)} predicates, {len(self.edges)} edge constraints)"
+        )

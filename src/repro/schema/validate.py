@@ -1,0 +1,123 @@
+"""Schema consistency checking (paper §3.2).
+
+"the parameters for the in- and out-degree distributions of each triple
+T1, T2, a have to be consistent in order to guarantee the compatibility
+of the number of generated ingoing and outgoing edges. We discuss the
+details of this consistency check in Section 4."
+
+The check is necessarily advisory: Theorem 3.6 shows exact satisfiability
+is NP-complete, and the generator (Fig. 5) proceeds heuristically anyway.
+We therefore report *diagnostics* — hard errors for structural problems
+(unknown types, both sides non-specified) and warnings for quantitative
+mismatches (expected in-edge volume far from expected out-edge volume),
+mirroring gMark's behaviour of always producing a graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.schema.config import GraphConfiguration
+from repro.schema.schema import GraphSchema
+
+#: Relative in/out edge-volume mismatch above which we warn.
+MISMATCH_TOLERANCE = 0.25
+
+
+@dataclass
+class SchemaDiagnostics:
+    """Outcome of validating a schema (optionally against a size)."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard errors were found (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            raise SchemaError("; ".join(self.errors))
+
+    def __repr__(self) -> str:
+        return f"SchemaDiagnostics(errors={len(self.errors)}, warnings={len(self.warnings)})"
+
+
+def validate_schema(
+    schema: GraphSchema, n: int | None = None
+) -> SchemaDiagnostics:
+    """Validate ``schema``; if ``n`` is given, also check edge volumes.
+
+    Structural checks (errors):
+
+    * every edge constraint refers to declared types;
+    * at least one side of every edge constraint is specified;
+    * proportional node-type fractions do not exceed 100%.
+
+    Quantitative checks (warnings, require ``n``):
+
+    * for each fully-specified constraint, the expected number of
+      outgoing edges ``n_T1 * E[D_out]`` should match the expected number
+      of incoming edges ``n_T2 * E[D_in]`` within a tolerance — when they
+      do not, Fig. 5's ``min(|v_src|, |v_trg|)`` truncation will distort
+      one of the two distributions;
+    * a type or predicate that no edge constraint mentions.
+    """
+    diag = SchemaDiagnostics()
+
+    for key, constraint in schema.edges.items():
+        for type_name in (constraint.source_type, constraint.target_type):
+            if type_name not in schema.types:
+                diag.errors.append(f"eta{key} uses undeclared type {type_name!r}")
+        if not constraint.in_dist.is_specified() and not constraint.out_dist.is_specified():
+            diag.errors.append(f"eta{key} has both sides non-specified")
+
+    fraction_total = sum(
+        c.fraction for c in schema.types.values() if c.is_proportional
+    )
+    if fraction_total > 1.0 + 1e-9:
+        diag.errors.append(
+            f"proportional node-type constraints sum to {fraction_total:.2f} > 1"
+        )
+
+    mentioned_types = set()
+    mentioned_predicates = set()
+    for constraint in schema.edges.values():
+        mentioned_types.add(constraint.source_type)
+        mentioned_types.add(constraint.target_type)
+        mentioned_predicates.add(constraint.predicate)
+    for type_name in schema.types:
+        if type_name not in mentioned_types:
+            diag.warnings.append(f"node type {type_name!r} appears in no edge constraint")
+    for predicate in schema.predicates:
+        if predicate not in mentioned_predicates:
+            diag.warnings.append(f"predicate {predicate!r} appears in no edge constraint")
+
+    if n is not None and diag.ok:
+        _check_edge_volumes(schema, n, diag)
+
+    return diag
+
+
+def _check_edge_volumes(schema: GraphSchema, n: int, diag: SchemaDiagnostics) -> None:
+    """Warn when in/out expected edge volumes disagree (Fig. 5 truncation)."""
+    config = GraphConfiguration(n, schema)
+    for key, constraint in schema.edges.items():
+        if not (constraint.in_dist.is_specified() and constraint.out_dist.is_specified()):
+            continue
+        n_src = config.count_of(constraint.source_type)
+        n_trg = config.count_of(constraint.target_type)
+        expected_out = n_src * constraint.out_dist.mean_degree()
+        expected_in = n_trg * constraint.in_dist.mean_degree()
+        if expected_out == expected_in == 0:
+            continue
+        denom = max(expected_out, expected_in)
+        mismatch = abs(expected_out - expected_in) / denom
+        if mismatch > MISMATCH_TOLERANCE:
+            diag.warnings.append(
+                f"eta{key}: expected out-edges {expected_out:.0f} vs in-edges "
+                f"{expected_in:.0f} differ by {mismatch:.0%}; the generator will "
+                "truncate to the smaller side"
+            )

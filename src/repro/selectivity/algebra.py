@@ -1,0 +1,157 @@
+"""The selectivity-class algebra (paper §5.2.2, Fig. 7, Table 1).
+
+Two binary tables drive everything:
+
+* :func:`disjoin` (Fig. 7a) — the class of ``p1 + p2``;
+* :func:`compose` (Fig. 7b) — the class of ``p1 · p2``.
+
+Both tables are transcribed with the paper's ``(column, row)`` reading
+order and validated against the anchors the text states explicitly:
+``< · > = ◇`` ("◇ is the result of a < followed by a >") and
+``> · < = ×`` ("× is the result of a > followed by a <").
+
+:func:`star` implements the Kleene-star rule (``sel(p*) = sel(p)·sel(p)``
+when source and target types coincide), and :func:`normalise` enforces
+the paper's restriction that the only triples containing a ``1`` are
+``(1,=,1)``, ``(1,<,N)`` and ``(N,>,1)``.
+"""
+
+from __future__ import annotations
+
+from repro.selectivity.types import (
+    Cardinality,
+    Operation,
+    SelectivityTriple,
+)
+
+_EQ = Operation.EQ
+_LT = Operation.LT
+_GT = Operation.GT
+_DIA = Operation.DIA
+_CROSS = Operation.CROSS
+
+# Fig. 7(a): disjunction.  _DISJUNCTION[o2][o1] == o1 + o2 (the table is
+# symmetric, so the reading order is immaterial here; kept (column, row)
+# for uniformity with the conjunction table).
+_DISJUNCTION: dict[Operation, dict[Operation, Operation]] = {
+    _EQ: {_EQ: _EQ, _LT: _LT, _GT: _GT, _DIA: _DIA, _CROSS: _CROSS},
+    _LT: {_EQ: _LT, _LT: _LT, _GT: _DIA, _DIA: _DIA, _CROSS: _CROSS},
+    _GT: {_EQ: _GT, _LT: _DIA, _GT: _GT, _DIA: _DIA, _CROSS: _CROSS},
+    _DIA: {_EQ: _DIA, _LT: _DIA, _GT: _DIA, _DIA: _DIA, _CROSS: _CROSS},
+    _CROSS: {_EQ: _CROSS, _LT: _CROSS, _GT: _CROSS, _DIA: _CROSS, _CROSS: _CROSS},
+}
+
+# Fig. 7(b): conjunction (concatenation).  _CONJUNCTION[o2][o1] == o1 · o2,
+# i.e. the *row* is the second operand and the *column* the first, per the
+# paper's "(column, row)" reading instruction.
+_CONJUNCTION: dict[Operation, dict[Operation, Operation]] = {
+    _EQ: {_EQ: _EQ, _LT: _LT, _GT: _GT, _DIA: _DIA, _CROSS: _CROSS},
+    _LT: {_EQ: _LT, _LT: _LT, _GT: _CROSS, _DIA: _CROSS, _CROSS: _CROSS},
+    _GT: {_EQ: _GT, _LT: _DIA, _GT: _GT, _DIA: _DIA, _CROSS: _CROSS},
+    _DIA: {_EQ: _DIA, _LT: _DIA, _GT: _CROSS, _DIA: _CROSS, _CROSS: _CROSS},
+    _CROSS: {_EQ: _CROSS, _LT: _CROSS, _GT: _CROSS, _DIA: _CROSS, _CROSS: _CROSS},
+}
+
+
+def disjoin_ops(o1: Operation, o2: Operation) -> Operation:
+    """``o1 + o2`` from Fig. 7(a)."""
+    return _DISJUNCTION[o2][o1]
+
+
+def compose_ops(o1: Operation, o2: Operation) -> Operation:
+    """``o1 · o2`` from Fig. 7(b)."""
+    return _CONJUNCTION[o2][o1]
+
+
+def normalise(triple: SelectivityTriple) -> SelectivityTriple:
+    """Coerce a triple into the paper's permitted forms.
+
+    "the triples (1,×,1) and (1,◇,1) are not permitted, which makes
+    (1,=,1), (1,<,N) and (N,>,1) the only permitted triples that contain
+    a 1 [...] we should replace [forbidden ones] with (1,=,1) if the case
+    occurs."  Generalising: when an endpoint has cardinality ``1`` the
+    operation is forced by the endpoint cardinalities alone.
+    """
+    src_one = triple.source is Cardinality.ONE
+    trg_one = triple.target is Cardinality.ONE
+    if src_one and trg_one:
+        return SelectivityTriple(Cardinality.ONE, Operation.EQ, Cardinality.ONE)
+    if src_one:
+        return SelectivityTriple(Cardinality.ONE, Operation.LT, Cardinality.N)
+    if trg_one:
+        return SelectivityTriple(Cardinality.N, Operation.GT, Cardinality.ONE)
+    return triple
+
+
+def disjoin(t1: SelectivityTriple, t2: SelectivityTriple) -> SelectivityTriple:
+    """Class of ``p1 + p2`` for two classes over the same type pair."""
+    if t1.source is not t2.source or t1.target is not t2.target:
+        raise ValueError(
+            f"disjunction requires matching endpoint types: {t1!r} vs {t2!r}"
+        )
+    return normalise(
+        SelectivityTriple(t1.source, disjoin_ops(t1.op, t2.op), t1.target)
+    )
+
+
+def compose(t1: SelectivityTriple, t2: SelectivityTriple) -> SelectivityTriple:
+    """Class of ``p1 · p2`` where ``p1`` ends on the type ``p2`` starts."""
+    if t1.target is not t2.source:
+        raise ValueError(
+            f"composition requires t1.target == t2.source: {t1!r} vs {t2!r}"
+        )
+    return normalise(
+        SelectivityTriple(t1.source, compose_ops(t1.op, t2.op), t2.target)
+    )
+
+
+def star(triple: SelectivityTriple) -> SelectivityTriple:
+    """Class of ``p*`` (defined only for loops: source type == target).
+
+    ``sel_{A,A}(p*) = sel_{A,A}(p) · sel_{A,A}(p)`` — e.g. the transitive
+    closure of a ``(N,◇,N)`` relation (``knows``) becomes ``(N,×,N)``:
+    quadratic, as §5.2.1 motivates.
+    """
+    if triple.source is not triple.target:
+        raise ValueError(f"star requires a loop triple, got {triple!r}")
+    return compose(triple, triple)
+
+
+def alpha_of_triple(triple: SelectivityTriple) -> int:
+    """α exponent of a triple (end of §5.2.2).
+
+    ``(1,=,1) -> 0``; ``(N,×,N) -> 2``; every other permitted triple is
+    linear.
+    """
+    triple = normalise(triple)
+    if triple.source is Cardinality.ONE and triple.target is Cardinality.ONE:
+        return 0
+    if triple.op is Operation.CROSS:
+        return 2
+    return 1
+
+
+def identity_triple(cardinality: Cardinality) -> SelectivityTriple:
+    """``sel_{A,A}(ε) = (Type(A), =, Type(A))`` (§5.2.2)."""
+    return SelectivityTriple(cardinality, Operation.EQ, cardinality)
+
+
+ALL_OPERATIONS: tuple[Operation, ...] = (
+    Operation.EQ,
+    Operation.LT,
+    Operation.GT,
+    Operation.DIA,
+    Operation.CROSS,
+)
+
+
+def permitted_triples() -> list[SelectivityTriple]:
+    """Every triple that can label a schema-graph node (§5.2.2/§5.2.3)."""
+    triples = [
+        SelectivityTriple(Cardinality.ONE, Operation.EQ, Cardinality.ONE),
+        SelectivityTriple(Cardinality.ONE, Operation.LT, Cardinality.N),
+        SelectivityTriple(Cardinality.N, Operation.GT, Cardinality.ONE),
+    ]
+    for op in ALL_OPERATIONS:
+        triples.append(SelectivityTriple(Cardinality.N, op, Cardinality.N))
+    return triples

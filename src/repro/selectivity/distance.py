@@ -1,0 +1,60 @@
+"""The distance matrix ``D`` over ``G_S`` (paper §5.2.3 (b)).
+
+``D[n, n']`` is the length of the shortest label path leading from
+schema-graph node ``n`` to ``n'`` — all-pairs BFS over the (small)
+schema graph.  Query generation consults it to decide whether a
+placeholder of a given length budget can reach a desired selectivity
+node at all, before committing to a skeleton.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+
+
+class DistanceMatrix:
+    """All-pairs shortest path lengths in ``G_S`` (∞ when unreachable)."""
+
+    def __init__(self, schema_graph: SchemaGraph):
+        self.schema_graph = schema_graph
+        self._dist: dict[SchemaGraphNode, dict[SchemaGraphNode, int]] = {}
+        for node in schema_graph.nodes:
+            self._dist[node] = self._bfs_from(node)
+
+    def _bfs_from(self, origin: SchemaGraphNode) -> dict[SchemaGraphNode, int]:
+        distances = {origin: 0}
+        queue = deque([origin])
+        while queue:
+            node = queue.popleft()
+            depth = distances[node]
+            for _, successor in self.schema_graph.successors(node):
+                if successor not in distances:
+                    distances[successor] = depth + 1
+                    queue.append(successor)
+        return distances
+
+    def distance(self, origin: SchemaGraphNode, destination: SchemaGraphNode) -> float:
+        """Shortest path length, or ``math.inf`` when unreachable."""
+        return self._dist.get(origin, {}).get(destination, math.inf)
+
+    def reachable(
+        self, origin: SchemaGraphNode, destination: SchemaGraphNode, max_length: int
+    ) -> bool:
+        """True if some path of length <= ``max_length`` exists."""
+        return self.distance(origin, destination) <= max_length
+
+    def reachable_within(
+        self, origin: SchemaGraphNode, max_length: int
+    ) -> list[SchemaGraphNode]:
+        """All nodes at distance <= ``max_length`` from ``origin``."""
+        return [
+            node
+            for node, depth in self._dist.get(origin, {}).items()
+            if depth <= max_length
+        ]
+
+    def __repr__(self) -> str:
+        return f"DistanceMatrix({len(self._dist)} origins)"

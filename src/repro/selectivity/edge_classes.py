@@ -1,0 +1,107 @@
+"""Base selectivity triples for single symbols (paper Example 5.1).
+
+For a query consisting of one edge label ``a`` with constraint
+``eta(T1, T2, a) = (D_in, D_out)``, the class follows from two
+boundedness questions:
+
+* *fan-out* per source node is unbounded iff ``D_out`` is Zipfian
+  (power-law hubs) or the cardinality asymmetry forces growth
+  (``Type(T1) = 1`` while ``Type(T2) = N``: a constant pool of sources
+  must absorb a growing edge volume);
+* *fan-in* per target node, symmetrically.
+
+The (bounded, bounded) signature gives ``=``; unbounded fan-out gives
+``<``; unbounded fan-in gives ``>``; both unbounded gives ``◇`` (a
+single-label relation is linear in the instance, never ``×``).
+Inverse symbols (``a-``) flip the triple.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.schema import EdgeConstraint, GraphSchema
+from repro.selectivity.types import Cardinality, Operation, SelectivityTriple
+from repro.selectivity.algebra import normalise
+
+
+def type_cardinality(schema: GraphSchema, type_name: str) -> Cardinality:
+    """``Type(A)``: ONE for fixed-count types, N for proportional ones."""
+    return Cardinality.ONE if schema.type_is_fixed(type_name) else Cardinality.N
+
+
+def _fan_out_unbounded(schema: GraphSchema, constraint: EdgeConstraint) -> bool:
+    source_card = type_cardinality(schema, constraint.source_type)
+    target_card = type_cardinality(schema, constraint.target_type)
+    if not constraint.out_dist.is_bounded():
+        return True
+    if not constraint.out_dist.is_specified():
+        # Degrees arise from uniform matching against the in side's edge
+        # budget: per-source rate grows only when a fixed pool of sources
+        # serves a growing target population.
+        return source_card is Cardinality.ONE and target_card is Cardinality.N
+    return False
+
+
+def _fan_in_unbounded(schema: GraphSchema, constraint: EdgeConstraint) -> bool:
+    source_card = type_cardinality(schema, constraint.source_type)
+    target_card = type_cardinality(schema, constraint.target_type)
+    if not constraint.in_dist.is_bounded():
+        return True
+    if not constraint.in_dist.is_specified():
+        return target_card is Cardinality.ONE and source_card is Cardinality.N
+    return False
+
+
+def edge_triple(schema: GraphSchema, constraint: EdgeConstraint) -> SelectivityTriple:
+    """Selectivity triple of the forward relation of one ``eta`` entry."""
+    fan_out = _fan_out_unbounded(schema, constraint)
+    fan_in = _fan_in_unbounded(schema, constraint)
+    if fan_out and fan_in:
+        op = Operation.DIA
+    elif fan_out:
+        op = Operation.LT
+    elif fan_in:
+        op = Operation.GT
+    else:
+        op = Operation.EQ
+    triple = SelectivityTriple(
+        type_cardinality(schema, constraint.source_type),
+        op,
+        type_cardinality(schema, constraint.target_type),
+    )
+    return normalise(triple)
+
+
+def symbol_triples(
+    schema: GraphSchema, symbol: str
+) -> dict[tuple[str, str], SelectivityTriple]:
+    """Triples of a symbol in ``Sigma±``, keyed by (source, target) type.
+
+    For a plain label ``a`` this maps each ``eta(T1, T2, a)`` entry to
+    its triple; for an inverse ``a-`` the mapping is flipped (Example
+    5.1: "the Zipfian out-distribution [...] implies a Zipfian
+    in-distribution for the inverse").
+    """
+    inverse = symbol.endswith("-")
+    label = symbol[:-1] if inverse else symbol
+    if label not in schema.predicates:
+        raise SchemaError(f"unknown predicate {label!r}")
+    result: dict[tuple[str, str], SelectivityTriple] = {}
+    for constraint in schema.edges_with_predicate(label):
+        triple = edge_triple(schema, constraint)
+        if inverse:
+            result[(constraint.target_type, constraint.source_type)] = normalise(
+                triple.flipped()
+            )
+        else:
+            result[(constraint.source_type, constraint.target_type)] = triple
+    return result
+
+
+def all_symbols(schema: GraphSchema) -> list[str]:
+    """``Sigma±``: every predicate and its inverse, declaration order."""
+    symbols: list[str] = []
+    for predicate in schema.predicates:
+        symbols.append(predicate)
+        symbols.append(predicate + "-")
+    return symbols

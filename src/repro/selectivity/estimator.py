@@ -1,0 +1,199 @@
+"""Selectivity estimation for UCRPQs via the class algebra (§5.2.2).
+
+Given a schema, the estimator computes ``sel_{A,B}(Q)`` maps — from
+(source type, target type) pairs to selectivity triples — bottom-up over
+the regular-expression structure, then takes
+``α̂(Q) = max_{A,B} α̂_{A,B}(Q)``.
+
+The paper guarantees estimation for *binary* queries whose body forms a
+path between the two head variables (regular path queries and chain
+CRPQs); for those the conjunct maps are composed along the chain.  Other
+queries get ``None`` rather than a guess.
+"""
+
+from __future__ import annotations
+
+from repro.queries.ast import (
+    Conjunct,
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+)
+from repro.schema.schema import GraphSchema
+from repro.selectivity.algebra import (
+    alpha_of_triple,
+    compose,
+    disjoin,
+    identity_triple,
+)
+from repro.selectivity.edge_classes import symbol_triples, type_cardinality
+from repro.selectivity.types import SelectivityClass, SelectivityTriple
+
+#: A selectivity map: (source type, target type) -> triple.
+ClassMap = dict[tuple[str, str], SelectivityTriple]
+
+
+def _disjoin_maps(left: ClassMap, right: ClassMap) -> ClassMap:
+    """Merge two maps, disjoining triples on shared type pairs."""
+    merged = dict(left)
+    for key, triple in right.items():
+        if key in merged:
+            merged[key] = disjoin(merged[key], triple)
+        else:
+            merged[key] = triple
+    return merged
+
+
+def _compose_maps(left: ClassMap, right: ClassMap) -> ClassMap:
+    """``sel(p1·p2) = Σ_C sel_{A,C}(p1) · sel_{C,B}(p2)`` (§5.2.2)."""
+    out: ClassMap = {}
+    by_source: dict[str, list[tuple[str, SelectivityTriple]]] = {}
+    for (c, b), triple in right.items():
+        by_source.setdefault(c, []).append((b, triple))
+    for (a, c), t1 in left.items():
+        for b, t2 in by_source.get(c, []):
+            candidate = compose(t1, t2)
+            key = (a, b)
+            if key in out:
+                out[key] = disjoin(out[key], candidate)
+            else:
+                out[key] = candidate
+    return out
+
+
+class SelectivityEstimator:
+    """Schema-driven selectivity estimation for queries."""
+
+    def __init__(self, schema: GraphSchema):
+        self.schema = schema
+        self._symbol_maps: dict[str, ClassMap] = {}
+
+    # -- building blocks ------------------------------------------------
+
+    def identity_map(self) -> ClassMap:
+        """``sel_{A,A}(ε) = (Type(A), =, Type(A))`` for every type."""
+        return {
+            (t, t): identity_triple(type_cardinality(self.schema, t))
+            for t in self.schema.type_names
+        }
+
+    def symbol_map(self, symbol: str) -> ClassMap:
+        """Triples of a single symbol in ``Sigma±`` (cached)."""
+        cached = self._symbol_maps.get(symbol)
+        if cached is None:
+            cached = {
+                key: triple
+                for key, triple in symbol_triples(self.schema, symbol).items()
+            }
+            self._symbol_maps[symbol] = cached
+        return cached
+
+    def path_map(self, path: PathExpression) -> ClassMap:
+        """Map of a concatenation of symbols (ε → identity map)."""
+        current = self.identity_map()
+        for symbol in path.symbols:
+            current = _compose_maps(current, self.symbol_map(symbol))
+        return current
+
+    def regex_map(self, regex: RegularExpression) -> ClassMap:
+        """Map of a full regular expression.
+
+        Disjuncts are merged with the Fig. 7(a) table.  For starred
+        expressions the paper's rule applies to the diagonal entries
+        (``sel_{A,A}(p*) = sel_{A,A}(p)·sel_{A,A}(p)``); since ``p*``
+        also matches ε, the identity map is disjoined in, which is what
+        makes a bare star at least linear while keeping the closure of a
+        ``(N,◇,N)`` relation quadratic.
+        """
+        merged: ClassMap = {}
+        for path in regex.disjuncts:
+            merged = _disjoin_maps(merged, self.path_map(path))
+        if not regex.starred:
+            return merged
+        starred: ClassMap = {}
+        for (a, b), triple in merged.items():
+            if a == b:
+                starred[(a, b)] = compose(triple, triple)
+        return _disjoin_maps(self.identity_map(), starred)
+
+    # -- queries ---------------------------------------------------------
+
+    def regex_alpha(self, regex: RegularExpression) -> int | None:
+        """α̂ of the binary query defined by a regular expression."""
+        class_map = self.regex_map(regex)
+        if not class_map:
+            return None
+        return max(alpha_of_triple(triple) for triple in class_map.values())
+
+    def rule_map(self, rule: QueryRule) -> ClassMap | None:
+        """Map of a binary rule whose body chains its two head variables.
+
+        Returns None when the rule is not binary or its body cannot be
+        oriented into a single path from ``head[0]`` to ``head[1]`` —
+        the cases §1.2 excludes from selectivity guarantees.
+        """
+        if rule.arity != 2:
+            return None
+        chain = _orient_chain(rule)
+        if chain is None:
+            return None
+        current = self.identity_map()
+        for regex in chain:
+            current = _compose_maps(current, self.regex_map(regex))
+            if not current:
+                return None
+        return current
+
+    def rule_alpha(self, rule: QueryRule) -> int | None:
+        class_map = self.rule_map(rule)
+        if not class_map:
+            return None
+        return max(alpha_of_triple(triple) for triple in class_map.values())
+
+    def query_alpha(self, query: Query) -> int | None:
+        """α̂ over a union of rules: the max of the per-rule estimates."""
+        alphas = []
+        for rule in query.rules:
+            alpha = self.rule_alpha(rule)
+            if alpha is None:
+                return None
+            alphas.append(alpha)
+        return max(alphas)
+
+    def query_class(self, query: Query) -> SelectivityClass | None:
+        """Constant / linear / quadratic, or None when not estimable."""
+        alpha = self.query_alpha(query)
+        if alpha is None:
+            return None
+        return SelectivityClass.from_alpha(alpha)
+
+
+def _orient_chain(rule: QueryRule) -> list[RegularExpression] | None:
+    """Order/orient body conjuncts into a path ``head[0] -> head[1]``.
+
+    Conjuncts may be traversed backwards, in which case their regex is
+    reversed (inverting every symbol).  Returns the oriented regexes or
+    None when the body is not a simple chain over all conjuncts.
+    """
+    start, end = rule.head
+    remaining: list[Conjunct] = list(rule.body)
+    oriented: list[RegularExpression] = []
+    current = start
+    while remaining:
+        step = None
+        for index, conjunct in enumerate(remaining):
+            if conjunct.source == current:
+                step = (index, conjunct.regex, conjunct.target)
+                break
+            if conjunct.target == current:
+                step = (index, conjunct.regex.reversed(), conjunct.source)
+                break
+        if step is None:
+            return None
+        index, regex, current = step
+        oriented.append(regex)
+        remaining.pop(index)
+    if current != end:
+        return None
+    return oriented

@@ -1,0 +1,199 @@
+"""Uniform sampling of label paths in ``G_S`` (paper §5.2.4).
+
+"drawing uniformly at random paths of a certain length in G_sel can be
+done efficiently with a two-step algorithm: first, each node n is
+associated with a function nb_path(n, i) that gives the number of paths
+of length i that can be generated starting from n [...] to generate a
+path of length l, the algorithm picks a starting node with a random
+draw weighted by nb_path(n, l), and then picks the label of an outgoing
+edge to a node n' with a random draw weighted by nb_path(n', l-1), etc."
+
+Here ``nb_path(n, i)`` counts length-``i`` paths from ``n`` that *end in
+an acceptable target node* (e.g. the nodes whose triple realises the
+requested selectivity class), computed by backward saturation; sampling
+then walks forward with counts as weights, which yields an exactly
+uniform draw over all valid paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.rng import ensure_rng
+from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+
+
+@dataclass(frozen=True)
+class SampledPath:
+    """A label path through ``G_S``: symbols plus the visited nodes."""
+
+    symbols: tuple[str, ...]
+    nodes: tuple[SchemaGraphNode, ...]  # length == len(symbols) + 1
+
+    @property
+    def start(self) -> SchemaGraphNode:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> SchemaGraphNode:
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.symbols)
+
+    def __repr__(self) -> str:
+        return f"SampledPath({'.'.join(self.symbols) or 'ε'})"
+
+
+class PathSampler:
+    """``nb_path`` tables and weighted path sampling over one ``G_S``.
+
+    Tables are memoised per (target-set, max-length) pair, so repeated
+    sampling for the same selectivity class costs one saturation pass.
+    """
+
+    def __init__(self, schema_graph: SchemaGraph):
+        self.schema_graph = schema_graph
+        self._tables: dict[tuple[frozenset[SchemaGraphNode], int], list[dict]] = {}
+
+    # -- counting ------------------------------------------------------
+
+    def path_counts(
+        self, targets: Iterable[SchemaGraphNode], max_length: int
+    ) -> list[dict[SchemaGraphNode, int]]:
+        """``nb_path`` table: ``result[i][n]`` = #length-``i`` paths
+        from ``n`` ending in ``targets`` (absent keys mean zero)."""
+        target_set = frozenset(targets)
+        key = (target_set, max_length)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+
+        table: list[dict[SchemaGraphNode, int]] = [
+            {node: 1 for node in target_set if node in self.schema_graph}
+        ]
+        for _ in range(max_length):
+            previous = table[-1]
+            level: dict[SchemaGraphNode, int] = {}
+            for node in self.schema_graph.nodes:
+                total = 0
+                for _, successor in self.schema_graph.successors(node):
+                    total += previous.get(successor, 0)
+                if total:
+                    level[node] = total
+            table.append(level)
+        self._tables[key] = table
+        return table
+
+    def count_from(
+        self,
+        start: SchemaGraphNode,
+        targets: Iterable[SchemaGraphNode],
+        length: int,
+    ) -> int:
+        """Number of length-``length`` paths from ``start`` to ``targets``."""
+        table = self.path_counts(targets, length)
+        return table[length].get(start, 0)
+
+    # -- sampling -------------------------------------------------------
+
+    def sample_path(
+        self,
+        starts: Sequence[SchemaGraphNode],
+        targets: Iterable[SchemaGraphNode],
+        length: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> SampledPath | None:
+        """Uniformly sample a length-``length`` path, or None if none exist.
+
+        ``starts`` are the admissible origins (weighted by their path
+        counts); ``targets`` the admissible final nodes.
+        """
+        rng = ensure_rng(rng)
+        table = self.path_counts(targets, length)
+
+        weights = [table[length].get(node, 0) for node in starts]
+        total = sum(weights)
+        if total == 0:
+            return None
+        start = _weighted_choice(starts, weights, total, rng)
+
+        symbols: list[str] = []
+        nodes: list[SchemaGraphNode] = [start]
+        current = start
+        for remaining in range(length, 0, -1):
+            options = self.schema_graph.successors(current)
+            option_weights = [
+                table[remaining - 1].get(successor, 0) for _, successor in options
+            ]
+            option_total = sum(option_weights)
+            if option_total == 0:
+                return None  # cannot happen if the table is consistent
+            symbol, current = _weighted_choice(
+                options, option_weights, option_total, rng
+            )
+            symbols.append(symbol)
+            nodes.append(current)
+        return SampledPath(tuple(symbols), tuple(nodes))
+
+    def sample_path_in_range(
+        self,
+        starts: Sequence[SchemaGraphNode],
+        targets: Iterable[SchemaGraphNode],
+        l_min: int,
+        l_max: int,
+        rng: int | np.random.Generator | None = None,
+        relax_to: int | None = None,
+    ) -> SampledPath | None:
+        """Sample a path whose length lies in ``[l_min, l_max]``.
+
+        Lengths are weighted by their path counts, so the draw is uniform
+        over *all* valid paths of any admissible length.  When no length
+        in the interval admits a path and ``relax_to`` is given, lengths
+        up to ``relax_to`` are tried in increasing order — the §5.2.4
+        relaxation: "we choose to relax the path length in order to
+        ensure accurate selectivity estimation".
+        """
+        rng = ensure_rng(rng)
+        target_list = list(targets)
+        table = self.path_counts(target_list, max(l_max, relax_to or 0))
+
+        length_weights = []
+        lengths = list(range(l_min, l_max + 1))
+        for length in lengths:
+            level = table[length]
+            length_weights.append(sum(level.get(node, 0) for node in starts))
+        total = sum(length_weights)
+        if total > 0:
+            length = _weighted_choice(lengths, length_weights, total, rng)
+            return self.sample_path(starts, target_list, length, rng)
+
+        if relax_to is not None:
+            for length in range(l_max + 1, relax_to + 1):
+                if sum(table[length].get(node, 0) for node in starts) > 0:
+                    return self.sample_path(starts, target_list, length, rng)
+            for length in range(l_min - 1, -1, -1):
+                if sum(table[length].get(node, 0) for node in starts) > 0:
+                    return self.sample_path(starts, target_list, length, rng)
+        return None
+
+    def nodes_matching(
+        self, predicate: Callable[[SchemaGraphNode], bool]
+    ) -> list[SchemaGraphNode]:
+        """Schema-graph nodes satisfying ``predicate`` (target helpers)."""
+        return [node for node in self.schema_graph.nodes if predicate(node)]
+
+
+def _weighted_choice(items, weights, total, rng: np.random.Generator):
+    """Pick one item with probability weight/total (ints stay exact)."""
+    pick = rng.integers(0, total)
+    acc = 0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if pick < acc:
+            return item
+    return items[-1]

@@ -1,0 +1,111 @@
+"""The schema graph ``G_S`` (paper §5.2.3 (a), Fig. 8).
+
+Nodes are pairs ``(T, (t1, o, Type(T)))`` of a schema node type and a
+selectivity triple whose target cardinality matches the type; an edge
+labelled ``a ∈ Sigma±`` connects ``(T, tr)`` to ``(T', tr · sel_{T,T'}(a))``
+whenever the schema allows an ``a``-step from ``T`` to ``T'``.
+
+A walk in ``G_S`` therefore tracks, simultaneously, the *type* reached by
+a label path and the *selectivity class* of the binary query defined by
+that path — which is exactly what the placeholder-instantiation step of
+query generation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.schema import GraphSchema
+from repro.selectivity.algebra import compose, identity_triple, permitted_triples
+from repro.selectivity.edge_classes import all_symbols, symbol_triples, type_cardinality
+from repro.selectivity.types import SelectivityTriple
+
+
+@dataclass(frozen=True)
+class SchemaGraphNode:
+    """One ``(type, triple)`` pair of ``G_S``."""
+
+    type_name: str
+    triple: SelectivityTriple
+
+    def __repr__(self) -> str:
+        return f"({self.type_name}, {self.triple!r})"
+
+
+class SchemaGraph:
+    """``G_S`` with labelled adjacency and the §5.2.2 start nodes.
+
+    The graph is finite and small: ``|Theta| × |permitted triples|``
+    nodes at most (the paper notes eight permitted triples), so it is
+    fully materialised eagerly at construction.
+    """
+
+    def __init__(self, schema: GraphSchema):
+        self.schema = schema
+        self.nodes: list[SchemaGraphNode] = self._build_nodes()
+        self._index = {node: i for i, node in enumerate(self.nodes)}
+        # adjacency: node -> list of (symbol, successor node)
+        self._succ: dict[SchemaGraphNode, list[tuple[str, SchemaGraphNode]]] = {
+            node: [] for node in self.nodes
+        }
+        self._build_edges()
+
+    def _build_nodes(self) -> list[SchemaGraphNode]:
+        nodes = []
+        for type_name in self.schema.type_names:
+            cardinality = type_cardinality(self.schema, type_name)
+            for triple in permitted_triples():
+                if triple.target is cardinality:
+                    nodes.append(SchemaGraphNode(type_name, triple))
+        return nodes
+
+    def _build_edges(self) -> None:
+        # Pre-compute, per symbol, the per-(source,target)-type triples.
+        per_symbol = {
+            symbol: symbol_triples(self.schema, symbol)
+            for symbol in all_symbols(self.schema)
+        }
+        for node in self.nodes:
+            for symbol, triples in per_symbol.items():
+                for (source_type, target_type), step_triple in triples.items():
+                    if source_type != node.type_name:
+                        continue
+                    try:
+                        extended = compose(node.triple, step_triple)
+                    except ValueError:
+                        continue
+                    successor = SchemaGraphNode(target_type, extended)
+                    if successor in self._index:
+                        self._succ[node].append((symbol, successor))
+
+    # -- navigation ---------------------------------------------------
+
+    def start_node(self, type_name: str) -> SchemaGraphNode:
+        """``(T, (Type(T), =, Type(T)))``: the ε-path node for a type."""
+        cardinality = type_cardinality(self.schema, type_name)
+        return SchemaGraphNode(type_name, identity_triple(cardinality))
+
+    def start_nodes(self) -> list[SchemaGraphNode]:
+        """Start nodes of every type (the ``(?, =, ?)`` nodes of §5.2.4)."""
+        return [self.start_node(t) for t in self.schema.type_names]
+
+    def successors(self, node: SchemaGraphNode) -> list[tuple[str, SchemaGraphNode]]:
+        """Outgoing ``(symbol, node)`` edges; empty for unknown nodes."""
+        return self._succ.get(node, [])
+
+    def node_index(self, node: SchemaGraphNode) -> int:
+        """Dense index of a node (used by the distance matrix)."""
+        return self._index[node]
+
+    def __contains__(self, node: SchemaGraphNode) -> bool:
+        return node in self._index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._succ.values())
+
+    def __repr__(self) -> str:
+        return f"SchemaGraph({len(self)} nodes, {self.edge_count} edges)"

@@ -1,0 +1,76 @@
+"""The selectivity graph ``G_sel`` (paper §5.2.3 (c), Fig. 9).
+
+An unlabelled digraph over the schema-graph nodes with an edge
+``n -> n'`` whenever ``G_S`` contains a path from ``n`` to ``n'`` whose
+length falls inside the workload's conjunct path-length interval
+``[l_min, l_max]``.  The query generator walks ``G_sel`` to pick the
+per-conjunct endpoint selectivity types (Example 5.4) before the actual
+label paths are drawn.
+"""
+
+from __future__ import annotations
+
+from repro.selectivity.distance import DistanceMatrix
+from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+
+
+class SelectivityGraph:
+    """``G_sel`` for one path-length interval.
+
+    Edge existence uses path *length* reachability, not mere shortest
+    distance: a path of length within ``[l_min, l_max]`` must exist.
+    Because ``G_S`` may be acyclic in places, ``shortest <= l_max`` alone
+    would be wrong when the shortest path is *shorter* than ``l_min`` and
+    cannot be padded; we therefore count exact-length reachability up to
+    ``l_max`` with a small dynamic program.
+    """
+
+    def __init__(self, schema_graph: SchemaGraph, l_min: int, l_max: int):
+        if l_min < 0 or l_max < l_min:
+            raise ValueError(f"bad length interval [{l_min}, {l_max}]")
+        self.schema_graph = schema_graph
+        self.l_min = l_min
+        self.l_max = l_max
+        self.distance_matrix = DistanceMatrix(schema_graph)
+        self._succ: dict[SchemaGraphNode, set[SchemaGraphNode]] = {
+            node: set() for node in schema_graph.nodes
+        }
+        self._build()
+
+    def _build(self) -> None:
+        # reachable[i][n] = set of nodes reachable from n by an exact
+        # length-i path; we accumulate union over i in [l_min, l_max].
+        current: dict[SchemaGraphNode, set[SchemaGraphNode]] = {
+            node: {node} for node in self.schema_graph.nodes
+        }
+        for length in range(1, self.l_max + 1):
+            nxt: dict[SchemaGraphNode, set[SchemaGraphNode]] = {}
+            for node in self.schema_graph.nodes:
+                reached: set[SchemaGraphNode] = set()
+                for _, successor in self.schema_graph.successors(node):
+                    reached |= current.get(successor, set())
+                nxt[node] = reached
+            current = nxt
+            if length >= self.l_min:
+                for node, reached in current.items():
+                    self._succ[node] |= reached
+        if self.l_min == 0:
+            for node in self.schema_graph.nodes:
+                self._succ[node].add(node)
+
+    def successors(self, node: SchemaGraphNode) -> set[SchemaGraphNode]:
+        """Nodes reachable by a legal-length path (``G_sel`` edges)."""
+        return self._succ.get(node, set())
+
+    def has_edge(self, origin: SchemaGraphNode, destination: SchemaGraphNode) -> bool:
+        return destination in self._succ.get(origin, set())
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectivityGraph([{self.l_min},{self.l_max}], "
+            f"{len(self.schema_graph)} nodes, {self.edge_count} edges)"
+        )

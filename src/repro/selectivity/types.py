@@ -1,0 +1,121 @@
+"""Selectivity vocabulary (paper §5.2.1–5.2.2).
+
+* :class:`Cardinality` — ``Type(A)``: whether a node type's population
+  grows with the graph (``N``) or stays fixed (``ONE``);
+* :class:`Operation` — the five algebraic operations between types from
+  Table 1; in terms of the relation selected by a binary query:
+
+  ===========  ==================  =================  ========
+  operation    fan-out per source  fan-in per target  alpha
+  ===========  ==================  =================  ========
+  ``EQ  (=)``  bounded             bounded            0 or 1
+  ``LT  (<)``  unbounded           bounded            1
+  ``GT  (>)``  bounded             unbounded          1
+  ``DIA (◇)``  unbounded           unbounded          1
+  ``CROSS(×)`` unbounded           unbounded          2
+  ===========  ==================  =================  ========
+
+  (``◇`` and ``×`` share the boundedness signature and are told apart
+  by the asymptotic output size, exactly as the paper's Table 1 notes.)
+
+* :class:`SelectivityTriple` — ``(t_A, o, t_B)``, the selectivity class
+  of a query restricted to source type ``A`` and target type ``B``;
+* :class:`SelectivityClass` — the user-facing constant / linear /
+  quadratic classes of §5.2.1 with their α exponents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Cardinality(enum.Enum):
+    """``Type(A)``: fixed (``1``) vs growing (``N``) node population."""
+
+    ONE = "1"
+    N = "N"
+
+    def __repr__(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Operation(enum.Enum):
+    """The five Table 1 operations between types."""
+
+    EQ = "="
+    LT = "<"
+    GT = ">"
+    DIA = "<>"  # ◇ in the paper
+    CROSS = "x"  # × in the paper
+
+    def flipped(self) -> "Operation":
+        """Operation of the inverse relation (swap fan-out and fan-in)."""
+        if self is Operation.LT:
+            return Operation.GT
+        if self is Operation.GT:
+            return Operation.LT
+        return self
+
+    def __repr__(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SelectivityTriple:
+    """``sel_{A,B}(Q) = (Type(A), o, Type(B))`` (§5.2.2)."""
+
+    source: Cardinality
+    op: Operation
+    target: Cardinality
+
+    def flipped(self) -> "SelectivityTriple":
+        """Triple of the inverse query (source/target swapped)."""
+        return SelectivityTriple(self.target, self.op.flipped(), self.source)
+
+    @property
+    def alpha(self) -> int:
+        """Estimated selectivity value of the triple (end of §5.2.2)."""
+        from repro.selectivity.algebra import alpha_of_triple
+
+        return alpha_of_triple(self)
+
+    def __repr__(self) -> str:
+        return f"({self.source},{self.op},{self.target})"
+
+
+class SelectivityClass(enum.Enum):
+    """User-facing selectivity classes (§5.2.1)."""
+
+    CONSTANT = "constant"
+    LINEAR = "linear"
+    QUADRATIC = "quadratic"
+
+    @property
+    def alpha(self) -> int:
+        """The α exponent in ``|Q(G)| = β·|G|^α`` targeted by the class."""
+        return {"constant": 0, "linear": 1, "quadratic": 2}[self.value]
+
+    @classmethod
+    def from_alpha(cls, alpha: int) -> "SelectivityClass":
+        """Inverse of :attr:`alpha`."""
+        return {0: cls.CONSTANT, 1: cls.LINEAR, 2: cls.QUADRATIC}[alpha]
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+# Convenient module-level aliases used throughout the package.
+ONE = Cardinality.ONE
+N = Cardinality.N
+EQ = Operation.EQ
+LT = Operation.LT
+GT = Operation.GT
+DIA = Operation.DIA
+CROSS = Operation.CROSS

@@ -1,0 +1,32 @@
+"""Query translators (paper Fig. 1: the "gMark query translator" box).
+
+Generated UCRPQs are serialised to four concrete syntaxes — SPARQL 1.1,
+openCypher, PostgreSQL SQL:1999 (recursive views), and Datalog — plus
+gMark's internal XML workload format.
+
+>>> from repro.translate import translate, TRANSLATORS
+>>> sorted(TRANSLATORS)
+['cypher', 'datalog', 'sparql', 'sql']
+"""
+
+from repro.translate.base import Translator, TRANSLATORS, translate, register_translator
+from repro.translate.sparql import SparqlTranslator
+from repro.translate.cypher import CypherTranslator
+from repro.translate.sql import SqlTranslator
+from repro.translate.datalog import DatalogTranslator
+from repro.translate.internal_xml import workload_to_xml, workload_from_xml, query_to_xml, query_from_xml
+
+__all__ = [
+    "Translator",
+    "TRANSLATORS",
+    "translate",
+    "register_translator",
+    "SparqlTranslator",
+    "CypherTranslator",
+    "SqlTranslator",
+    "DatalogTranslator",
+    "workload_to_xml",
+    "workload_from_xml",
+    "query_to_xml",
+    "query_from_xml",
+]

@@ -1,0 +1,60 @@
+"""Translator protocol and registry.
+
+gMark is query-language independent (§1.1): translators are looked up
+by name so new concrete syntaxes can be plugged in without touching the
+generator.  Every translator consumes the UCRPQ AST and produces a
+self-contained query text.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.queries.ast import Query
+
+TRANSLATORS: dict[str, "Translator"] = {}
+
+
+class Translator:
+    """Base class for concrete-syntax translators.
+
+    Subclasses set :attr:`name` and implement :meth:`translate_query`.
+    ``count_distinct`` wraps the query in the §7.1 measurement form
+    ``count(distinct ?v)`` so benchmark runs do not measure result
+    printing.
+    """
+
+    name: str = "abstract"
+
+    def translate_query(
+        self, query: Query, query_name: str = "q0", count_distinct: bool = False
+    ) -> str:
+        raise NotImplementedError
+
+    def translate_workload(self, workload, count_distinct: bool = False) -> list[str]:
+        """Translate every query of a workload, in order."""
+        return [
+            self.translate_query(gq.query, f"q{i}", count_distinct)
+            for i, gq in enumerate(workload)
+        ]
+
+
+def register_translator(translator: Translator) -> Translator:
+    """Register a translator instance under its name."""
+    TRANSLATORS[translator.name] = translator
+    return translator
+
+
+def translate(
+    query: Query,
+    dialect: str,
+    query_name: str = "q0",
+    count_distinct: bool = False,
+) -> str:
+    """Translate ``query`` into ``dialect`` (one of ``TRANSLATORS``)."""
+    try:
+        translator = TRANSLATORS[dialect]
+    except KeyError:
+        raise TranslationError(
+            f"unknown dialect {dialect!r}; available: {sorted(TRANSLATORS)}"
+        ) from None
+    return translator.translate_query(query, query_name, count_distinct)

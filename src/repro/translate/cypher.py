@@ -1,0 +1,169 @@
+"""UCRPQ → openCypher translation.
+
+openCypher expresses only a fragment of UCRPQ (paper §7.1): no inverse
+and no concatenation *under Kleene star*, and match semantics are
+edge-isomorphic rather than homomorphic.  The translator therefore:
+
+* expands non-starred disjunctions into ``UNION`` branches (Cypher has
+  no inline alternation over paths);
+* renders starred expressions as variable-length patterns
+  ``-[:a|b*0..]->`` when every disjunct is a single forward symbol;
+* otherwise applies the paper's workaround — keep only the non-inverse
+  symbol and/or the first symbol of each concatenation — and marks the
+  query with a warning comment, since its answers may legitimately
+  differ (this is exactly why system G returns diverging results in the
+  paper's experiments).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import TranslationError
+from repro.queries.ast import (
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+    is_inverse,
+    symbol_base,
+)
+from repro.translate.base import Translator, register_translator
+
+#: Cap on the per-rule cross product of disjunct choices.
+MAX_BRANCHES = 128
+
+
+def _cypher_var(var: str) -> str:
+    return var.lstrip("?")
+
+
+def _pattern_for_path(
+    source: str, path: PathExpression, target: str, fresh: "_FreshNames"
+) -> str:
+    """A Cypher pattern for one concatenation disjunct."""
+    if path.is_epsilon:
+        # ε: the two endpoints are the same node.
+        return f"({source}), ({target}) WHERE {source} = {target}"
+    parts = [f"({source})"]
+    current = source
+    for index, symbol in enumerate(path.symbols):
+        is_last = index == len(path.symbols) - 1
+        next_node = target if is_last else fresh.next()
+        if is_inverse(symbol):
+            parts.append(f"<-[:{symbol_base(symbol)}]-({next_node})")
+        else:
+            parts.append(f"-[:{symbol}]->({next_node})")
+        current = next_node
+    return "".join(parts)
+
+
+class _FreshNames:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        return f"_n{self._counter}"
+
+
+def star_pattern(
+    source: str, regex: RegularExpression, target: str
+) -> tuple[str, bool]:
+    """Variable-length pattern for a starred regex.
+
+    Returns (pattern, approximated?).  ``approximated`` is True when the
+    §7.1 workaround had to drop inverses or concatenation tails.
+    """
+    approximated = False
+    labels: list[str] = []
+    for path in regex.disjuncts:
+        if path.is_epsilon:
+            approximated = True
+            continue
+        symbol = path.symbols[0]
+        if path.length > 1:
+            approximated = True  # keep only the first symbol
+        if is_inverse(symbol):
+            approximated = True  # keep only the non-inverse symbol
+            symbol = symbol_base(symbol)
+        if symbol not in labels:
+            labels.append(symbol)
+    if not labels:
+        raise TranslationError("starred expression reduces to no usable label")
+    alternation = "|".join(labels)
+    return f"({source})-[:{alternation}*0..]->({target})", approximated
+
+
+class CypherTranslator(Translator):
+    """openCypher translation (with the paper's recursion workaround)."""
+
+    name = "cypher"
+
+    def _rule_branches(self, rule: QueryRule) -> tuple[list[list[str]], bool]:
+        """All MATCH-pattern branches of a rule; returns (branches, approx)."""
+        approximated = False
+        per_conjunct: list[list[str]] = []
+        fresh = _FreshNames()
+        for conjunct in rule.body:
+            source = _cypher_var(conjunct.source)
+            target = _cypher_var(conjunct.target)
+            if conjunct.regex.starred:
+                pattern, approx = star_pattern(source, conjunct.regex, target)
+                approximated = approximated or approx
+                per_conjunct.append([pattern])
+            else:
+                patterns = [
+                    _pattern_for_path(source, path, target, fresh)
+                    for path in conjunct.regex.disjuncts
+                ]
+                per_conjunct.append(patterns)
+
+        branches = [list(choice) for choice in product(*per_conjunct)]
+        if len(branches) > MAX_BRANCHES:
+            raise TranslationError(
+                f"rule expands to {len(branches)} openCypher branches "
+                f"(cap {MAX_BRANCHES})"
+            )
+        return branches, approximated
+
+    def translate_query(
+        self, query: Query, query_name: str = "q0", count_distinct: bool = False
+    ) -> str:
+        head = [_cypher_var(v) for v in query.rules[0].head]
+        if head:
+            returns = ", ".join(f"{v} AS c{i}" for i, v in enumerate(head))
+        else:
+            returns = "1 AS ok"
+
+        sections: list[str] = []
+        approximated = False
+        for rule in query.rules:
+            branches, approx = self._rule_branches(rule)
+            approximated = approximated or approx
+            for branch in branches:
+                matches = "\nMATCH ".join(branch)
+                sections.append(f"MATCH {matches}\nRETURN DISTINCT {returns}")
+        body = "\nUNION\n".join(sections)
+
+        header = f"// {query_name}\n"
+        if approximated:
+            header += (
+                "// WARNING: recursion approximated (openCypher cannot express\n"
+                "// inverse or concatenation under Kleene star); answers may differ.\n"
+            )
+        if count_distinct:
+            return (
+                f"{header}CALL {{\n{_indent(body)}\n}}\n"
+                f"RETURN count(*) AS count"
+            )
+        if query.is_boolean:
+            return f"{header}{body}\nLIMIT 1"
+        return header + body
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+register_translator(CypherTranslator())

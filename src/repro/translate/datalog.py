@@ -1,0 +1,82 @@
+"""UCRPQ → Datalog translation.
+
+The UCRPQ fragment embeds naturally into Datalog (paper §2): each
+conjunct gets an auxiliary IDB predicate defined by one rule per
+disjunct; starred conjuncts add the reflexive base case over ``node/1``
+and a linear recursive rule; the answer predicate unions the rules.
+Edge labels are EDB predicates ``<label>(Src, Trg)``.
+"""
+
+from __future__ import annotations
+
+from repro.queries.ast import (
+    PathExpression,
+    Query,
+    is_inverse,
+    symbol_base,
+)
+from repro.translate.base import Translator, register_translator
+
+
+def _dl_var(var: str) -> str:
+    """Datalog variables are capitalised identifiers."""
+    return "V" + var.lstrip("?")
+
+
+def _path_rule(head: str, path: PathExpression) -> str:
+    """One rule ``head(X0, Xk) :- atoms...`` for a concatenation."""
+    if path.is_epsilon:
+        return f"{head}(X, X) :- node(X)."
+    atoms: list[str] = []
+    for index, symbol in enumerate(path.symbols):
+        left, right = f"X{index}", f"X{index + 1}"
+        if is_inverse(symbol):
+            atoms.append(f"{symbol_base(symbol)}({right}, {left})")
+        else:
+            atoms.append(f"{symbol}({left}, {right})")
+    return f"{head}(X0, X{path.length}) :- {', '.join(atoms)}."
+
+
+class DatalogTranslator(Translator):
+    """Datalog translation with linear recursion for Kleene stars."""
+
+    name = "datalog"
+
+    def translate_query(
+        self, query: Query, query_name: str = "q0", count_distinct: bool = False
+    ) -> str:
+        lines: list[str] = [f"% {query_name}"]
+        aux_counter = 0
+
+        answer_head_vars = [_dl_var(v) for v in query.rules[0].head]
+        answer = f"ans({', '.join(answer_head_vars)})" if answer_head_vars else "ans"
+
+        for rule in query.rules:
+            body_atoms: list[str] = []
+            for conjunct in rule.body:
+                predicate = f"p{aux_counter}"
+                aux_counter += 1
+                if conjunct.regex.starred:
+                    base = f"{predicate}_base"
+                    for path in conjunct.regex.disjuncts:
+                        lines.append(_path_rule(base, path))
+                    lines.append(f"{predicate}(X, X) :- node(X).")
+                    lines.append(
+                        f"{predicate}(X, Y) :- {predicate}(X, Z), {base}(Z, Y)."
+                    )
+                else:
+                    for path in conjunct.regex.disjuncts:
+                        lines.append(_path_rule(predicate, path))
+                body_atoms.append(
+                    f"{predicate}({_dl_var(conjunct.source)}, "
+                    f"{_dl_var(conjunct.target)})"
+                )
+            lines.append(f"{answer} :- {', '.join(body_atoms)}.")
+
+        if count_distinct:
+            lines.append("% measurement form: count the distinct ans tuples")
+            lines.append("result(N) :- N = #count { ans }.")
+        return "\n".join(lines)
+
+
+register_translator(DatalogTranslator())

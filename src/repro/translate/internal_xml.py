@@ -1,0 +1,124 @@
+"""gMark's internal XML workload format (Fig. 1: "UCRPQs as XML").
+
+The generator's native output: a machine-readable serialisation of a
+workload that the translators (or external tools) consume.  Round-trips
+losslessly through :func:`workload_to_xml` / :func:`workload_from_xml`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import QuerySyntaxError
+from repro.queries.ast import (
+    Conjunct,
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+)
+from repro.queries.shapes import QueryShape
+from repro.queries.workload import GeneratedQuery, Workload
+from repro.selectivity.types import SelectivityClass
+
+
+def query_to_xml(query: Query, name: str = "q0") -> ET.Element:
+    """Serialise one query to an ``<query>`` element."""
+    query_el = ET.Element("query", {"name": name, "arity": str(query.arity)})
+    for rule in query.rules:
+        rule_el = ET.SubElement(query_el, "rule")
+        head_el = ET.SubElement(rule_el, "head")
+        for var in rule.head:
+            ET.SubElement(head_el, "var").text = var
+        body_el = ET.SubElement(rule_el, "body")
+        for conjunct in rule.body:
+            conjunct_el = ET.SubElement(
+                body_el,
+                "conjunct",
+                {"src": conjunct.source, "trg": conjunct.target},
+            )
+            _regex_to_xml(conjunct.regex, conjunct_el)
+    return query_el
+
+
+def _regex_to_xml(regex: RegularExpression, parent: ET.Element) -> None:
+    regex_el = ET.SubElement(
+        parent, "regex", {"star": "true" if regex.starred else "false"}
+    )
+    for path in regex.disjuncts:
+        path_el = ET.SubElement(regex_el, "path")
+        for symbol in path.symbols:
+            ET.SubElement(path_el, "symbol").text = symbol
+
+
+def query_from_xml(query_el: ET.Element) -> Query:
+    """Inverse of :func:`query_to_xml`."""
+    rules = []
+    for rule_el in query_el.findall("rule"):
+        head = tuple(
+            var.text for var in rule_el.find("head").findall("var") if var.text
+        )
+        body = []
+        for conjunct_el in rule_el.find("body").findall("conjunct"):
+            regex = _regex_from_xml(conjunct_el.find("regex"))
+            body.append(
+                Conjunct(conjunct_el.get("src"), regex, conjunct_el.get("trg"))
+            )
+        rules.append(QueryRule(head, tuple(body)))
+    if not rules:
+        raise QuerySyntaxError("XML query has no rules")
+    return Query(tuple(rules))
+
+
+def _regex_from_xml(regex_el: ET.Element) -> RegularExpression:
+    if regex_el is None:
+        raise QuerySyntaxError("conjunct without <regex>")
+    paths = []
+    for path_el in regex_el.findall("path"):
+        symbols = tuple(s.text for s in path_el.findall("symbol") if s.text)
+        paths.append(PathExpression(symbols))
+    return RegularExpression(tuple(paths), regex_el.get("star") == "true")
+
+
+def workload_to_xml(workload: Workload) -> str:
+    """Serialise a workload to an XML document string."""
+    root = ET.Element("workload", {"size": str(len(workload))})
+    for index, generated in enumerate(workload):
+        query_el = query_to_xml(generated.query, f"q{index}")
+        query_el.set("shape", generated.shape.value)
+        if generated.selectivity is not None:
+            query_el.set("selectivity", generated.selectivity.value)
+        if generated.estimated_alpha is not None:
+            query_el.set("alpha", str(generated.estimated_alpha))
+        if generated.relaxed:
+            query_el.set("relaxed", "true")
+        root.append(query_el)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def workload_from_xml(text: str, configuration=None) -> list[GeneratedQuery]:
+    """Parse a workload XML document back into generated queries.
+
+    The graph configuration is not stored in the XML (it has its own
+    file); callers that need a full :class:`Workload` attach one.
+    """
+    root = ET.fromstring(text)
+    queries = []
+    for query_el in root.findall("query"):
+        shape = QueryShape(query_el.get("shape", "chain"))
+        selectivity_attr = query_el.get("selectivity")
+        selectivity = (
+            SelectivityClass(selectivity_attr) if selectivity_attr else None
+        )
+        alpha_attr = query_el.get("alpha")
+        queries.append(
+            GeneratedQuery(
+                query=query_from_xml(query_el),
+                shape=shape,
+                selectivity=selectivity,
+                estimated_alpha=int(alpha_attr) if alpha_attr else None,
+                relaxed=query_el.get("relaxed") == "true",
+            )
+        )
+    return queries

@@ -1,0 +1,97 @@
+"""UCRPQ → SPARQL 1.1 translation.
+
+Regular path queries map directly onto SPARQL 1.1 *property paths*:
+concatenation is ``/``, disjunction ``|``, inverse ``^``, and the
+outermost Kleene star ``*``.  Multiple rules become ``UNION`` blocks;
+Boolean queries become ``ASK``.
+"""
+
+from __future__ import annotations
+
+from repro.queries.ast import (
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+    is_inverse,
+    symbol_base,
+)
+from repro.translate.base import Translator, register_translator
+
+#: Prefix used for edge predicates in the emitted queries.
+PREDICATE_PREFIX = ":"
+
+
+def _symbol_to_path(symbol: str) -> str:
+    if is_inverse(symbol):
+        return f"^{PREDICATE_PREFIX}{symbol_base(symbol)}"
+    return f"{PREDICATE_PREFIX}{symbol}"
+
+
+def _path_to_sparql(path: PathExpression) -> str:
+    """One disjunct: a ``/``-concatenation (ε needs a zero-length path)."""
+    if path.is_epsilon:
+        # SPARQL has no ε literal; (p?) with an unused predicate would be
+        # schema-dependent, so the standard encoding is a zero-or-one
+        # self-union which property paths express as an empty group star.
+        return f"({PREDICATE_PREFIX}eps)?"
+    return "/".join(_symbol_to_path(symbol) for symbol in path.symbols)
+
+
+def regex_to_property_path(regex: RegularExpression) -> str:
+    """Render a UCRPQ regular expression as a SPARQL property path."""
+    disjunction = "|".join(
+        _path_to_sparql(path) if path.length <= 1 else f"({_path_to_sparql(path)})"
+        for path in regex.disjuncts
+    )
+    if regex.starred:
+        return f"({disjunction})*"
+    if len(regex.disjuncts) > 1:
+        return f"({disjunction})"
+    return disjunction
+
+
+def _var(name: str) -> str:
+    return name  # UCRPQ variables are already ?-prefixed, as in SPARQL
+
+
+class SparqlTranslator(Translator):
+    """SPARQL 1.1 translation with property paths."""
+
+    name = "sparql"
+
+    def translate_rule_body(self, rule: QueryRule) -> str:
+        lines = [
+            f"    {_var(c.source)} {regex_to_property_path(c.regex)} {_var(c.target)} ."
+            for c in rule.body
+        ]
+        return "\n".join(lines)
+
+    def translate_query(
+        self, query: Query, query_name: str = "q0", count_distinct: bool = False
+    ) -> str:
+        head = query.rules[0].head
+        blocks = []
+        for rule in query.rules:
+            blocks.append("{\n" + self.translate_rule_body(rule) + "\n  }")
+        where = "\n  UNION\n  ".join(blocks)
+
+        prologue = f"PREFIX {PREDICATE_PREFIX.rstrip(':')}: <http://example.org/gmark/p/>\n"
+        if query.is_boolean:
+            return f"{prologue}# {query_name}\nASK WHERE {{\n  {where}\n}}"
+        if count_distinct:
+            inner = " ".join(head)
+            return (
+                f"{prologue}# {query_name}\n"
+                f"SELECT (COUNT(*) AS ?count) WHERE {{\n"
+                f"  SELECT DISTINCT {inner} WHERE {{\n  {where}\n  }}\n"
+                f"}}"
+            )
+        projection = " ".join(head)
+        return (
+            f"{prologue}# {query_name}\n"
+            f"SELECT DISTINCT {projection} WHERE {{\n  {where}\n}}"
+        )
+
+
+register_translator(SparqlTranslator())

@@ -1,0 +1,132 @@
+"""UCRPQ → PostgreSQL SQL:1999 translation (recursive views).
+
+The standard relational encoding (paper §7, footnote 4): one binary
+table ``edge_<label>(src, trg)`` per predicate plus a ``nodes(id)``
+table.  Each conjunct becomes a CTE — a union of join chains for its
+disjuncts; starred conjuncts become ``WITH RECURSIVE`` CTEs using
+*linear* recursion.  The rule body joins the conjunct CTEs on shared
+variables and the rules are ``UNION``-ed.
+"""
+
+from __future__ import annotations
+
+from repro.queries.ast import (
+    PathExpression,
+    Query,
+    QueryRule,
+    is_inverse,
+    symbol_base,
+)
+from repro.translate.base import Translator, register_translator
+
+
+def edge_table(label: str) -> str:
+    """Table name for a predicate."""
+    return f"edge_{label}"
+
+
+def _path_select(path: PathExpression) -> str:
+    """SELECT producing the (src, trg) pairs of one concatenation."""
+    if path.is_epsilon:
+        return "SELECT id AS src, id AS trg FROM nodes"
+    froms: list[str] = []
+    conditions: list[str] = []
+    endpoints: list[tuple[str, str]] = []  # (u, v) column refs per step
+    for index, symbol in enumerate(path.symbols):
+        alias = f"t{index}"
+        froms.append(f"{edge_table(symbol_base(symbol))} {alias}")
+        if is_inverse(symbol):
+            endpoints.append((f"{alias}.trg", f"{alias}.src"))
+        else:
+            endpoints.append((f"{alias}.src", f"{alias}.trg"))
+    for index in range(1, len(endpoints)):
+        conditions.append(f"{endpoints[index - 1][1]} = {endpoints[index][0]}")
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    return (
+        f"SELECT {endpoints[0][0]} AS src, {endpoints[-1][1]} AS trg "
+        f"FROM {', '.join(froms)}{where}"
+    )
+
+
+def _disjunction_select(paths: tuple[PathExpression, ...]) -> str:
+    return "\n  UNION\n  ".join(_path_select(path) for path in paths)
+
+
+class SqlTranslator(Translator):
+    """PostgreSQL translation with linear recursive CTEs."""
+
+    name = "sql"
+
+    def translate_query(
+        self, query: Query, query_name: str = "q0", count_distinct: bool = False
+    ) -> str:
+        ctes: list[str] = []
+        needs_recursive = False
+        rule_selects: list[str] = []
+        cte_counter = 0
+
+        for rule in query.rules:
+            conjunct_ctes: list[str] = []
+            for conjunct in rule.body:
+                name = f"c{cte_counter}"
+                cte_counter += 1
+                body = _disjunction_select(conjunct.regex.disjuncts)
+                if conjunct.regex.starred:
+                    needs_recursive = True
+                    base_name = f"{name}_base"
+                    ctes.append(f"{base_name}(src, trg) AS (\n  {body}\n)")
+                    # Linear recursion: the working table joins the base
+                    # relation one step at a time (the standard UCRPQ
+                    # translation the paper cites).
+                    ctes.append(
+                        f"{name}(src, trg) AS (\n"
+                        f"  SELECT id AS src, id AS trg FROM nodes\n"
+                        f"  UNION\n"
+                        f"  SELECT s.src, b.trg FROM {name} s, {base_name} b "
+                        f"WHERE s.trg = b.src\n)"
+                    )
+                else:
+                    ctes.append(f"{name}(src, trg) AS (\n  {body}\n)")
+                conjunct_ctes.append(name)
+            rule_selects.append(self._rule_select(rule, conjunct_ctes))
+
+        with_kw = "WITH RECURSIVE" if needs_recursive else "WITH"
+        with_clause = f"{with_kw}\n" + ",\n".join(ctes) + "\n" if ctes else ""
+        union = "\nUNION\n".join(rule_selects)
+
+        if count_distinct:
+            return (
+                f"-- {query_name}\n{with_clause}"
+                f"SELECT COUNT(*) AS count FROM (\n{union}\n) answers;"
+            )
+        return f"-- {query_name}\n{with_clause}{union};"
+
+    def _rule_select(self, rule: QueryRule, conjunct_ctes: list[str]) -> str:
+        """Join the conjunct CTEs on shared variables; project the head."""
+        aliases: list[str] = []
+        var_columns: dict[str, str] = {}
+        conditions: list[str] = []
+        for index, (conjunct, cte) in enumerate(zip(rule.body, conjunct_ctes)):
+            alias = f"{cte}_a{index}"
+            aliases.append(f"{cte} {alias}")
+            for var, column in (
+                (conjunct.source, f"{alias}.src"),
+                (conjunct.target, f"{alias}.trg"),
+            ):
+                if var in var_columns:
+                    conditions.append(f"{var_columns[var]} = {column}")
+                else:
+                    var_columns[var] = column
+        if rule.head:
+            projection = ", ".join(
+                f"{var_columns[var]} AS {var.lstrip('?')}" for var in rule.head
+            )
+        else:
+            projection = "1 AS ok"
+        where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+        return (
+            f"SELECT DISTINCT {projection}\nFROM {', '.join(aliases)}{where}"
+        )
+
+
+register_translator(SqlTranslator())

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's running examples as concrete objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generation.generator import generate_graph
+from repro.schema.config import GraphConfiguration
+from repro.schema.constraints import fixed, proportion
+from repro.schema.distributions import (
+    GaussianDistribution,
+    NON_SPECIFIED,
+    UniformDistribution,
+    ZipfianDistribution,
+)
+from repro.schema.schema import GraphSchema
+from repro.scenarios import bib_schema
+
+
+@pytest.fixture
+def example_schema() -> GraphSchema:
+    """The Example 3.3 schema: Σ={a,b}, Θ={T1,T2,T3}.
+
+    T(T1)=60%, T(T2)=20%, T(T3)=1 (fixed) and
+    η(T1,T1,a)=(gaussian, zipfian), η(T1,T2,b)=(uniform, gaussian),
+    η(T2,T2,b)=(gaussian, ns), η(T2,T3,b)=(ns, uniform).
+    """
+    schema = GraphSchema(name="example33")
+    schema.add_type("T1", proportion(0.60))
+    schema.add_type("T2", proportion(0.20))
+    schema.add_type("T3", fixed(1))
+    schema.add_edge(
+        "T1", "T1", "a",
+        in_dist=GaussianDistribution(2.0, 1.0),
+        out_dist=ZipfianDistribution(2.5, 2.0),
+    )
+    schema.add_edge(
+        "T1", "T2", "b",
+        in_dist=UniformDistribution(1, 3),
+        out_dist=GaussianDistribution(1.0, 0.5),
+    )
+    schema.add_edge(
+        "T2", "T2", "b",
+        in_dist=GaussianDistribution(1.0, 0.5),
+        out_dist=NON_SPECIFIED,
+    )
+    schema.add_edge(
+        "T2", "T3", "b",
+        in_dist=NON_SPECIFIED,
+        out_dist=UniformDistribution(1, 1),
+    )
+    return schema
+
+
+@pytest.fixture
+def bib() -> GraphSchema:
+    return bib_schema()
+
+
+@pytest.fixture
+def bib_config(bib) -> GraphConfiguration:
+    return GraphConfiguration(1000, bib)
+
+
+@pytest.fixture
+def bib_graph(bib_config):
+    return generate_graph(bib_config, seed=42)

@@ -1,0 +1,138 @@
+"""Tests for the experiment harness: regression, protocols, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    STRESS_WORKLOADS,
+    measure_selectivities,
+    stress_workload,
+    time_query,
+)
+from repro.analysis.regression import aggregate_alphas, fit_alpha
+from repro.analysis.reporting import format_mean_std, format_series, format_table
+from repro.queries.parser import parse_query
+from repro.schema.config import GraphConfiguration
+
+
+class TestFitAlpha:
+    def test_exact_power_law(self):
+        sizes = [1000, 2000, 4000, 8000]
+        for alpha, beta in ((0.0, 42.0), (1.0, 0.5), (2.0, 0.001)):
+            counts = [round(beta * s**alpha) for s in sizes]
+            fit = fit_alpha(sizes, counts)
+            assert fit.alpha == pytest.approx(alpha, abs=0.05)
+
+    def test_all_zero_counts_is_constant(self):
+        fit = fit_alpha([1000, 2000], [0, 0])
+        assert fit.alpha == 0.0
+        assert fit.observations == 0
+
+    def test_single_observation(self):
+        fit = fit_alpha([1000, 2000], [0, 7])
+        assert fit.alpha == 0.0
+        assert fit.beta == 7.0
+
+    def test_predict(self):
+        fit = fit_alpha([100, 200, 400], [100, 200, 400])
+        assert fit.predict(800) == pytest.approx(800, rel=0.05)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_alpha([1, 2], [1])
+
+    def test_aggregate(self):
+        mean, std = aggregate_alphas([1.0, 1.2, 0.8])
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(np.std([1.0, 1.2, 0.8], ddof=1))
+
+    def test_aggregate_empty(self):
+        mean, std = aggregate_alphas([])
+        assert np.isnan(mean) and np.isnan(std)
+
+
+class TestStressWorkloads:
+    def test_four_kinds(self):
+        assert set(STRESS_WORKLOADS) == {"Len", "Dis", "Con", "Rec"}
+
+    def test_len_has_single_conjunct_single_disjunct(self, bib_config):
+        workload = stress_workload("Len", bib_config, queries_per_class=2, seed=0)
+        for generated in workload:
+            _, conjuncts, disjuncts, _ = generated.query.size_tuple()
+            assert conjuncts == (1, 1)
+            assert disjuncts == (1, 1)
+            assert not generated.query.has_recursion
+
+    def test_dis_has_disjuncts(self, bib_config):
+        workload = stress_workload("Dis", bib_config, queries_per_class=2, seed=0)
+        assert any(
+            generated.query.size_tuple()[2][1] >= 2 for generated in workload
+        )
+
+    def test_rec_has_recursion(self, bib_config):
+        workload = stress_workload("Rec", bib_config, queries_per_class=3, seed=1)
+        assert any(generated.query.has_recursion for generated in workload)
+
+    def test_thirty_queries_at_default(self, bib_config):
+        workload = stress_workload("Con", bib_config, seed=0)
+        assert len(workload) == 30
+
+    def test_unknown_kind(self, bib_config):
+        with pytest.raises(KeyError):
+            stress_workload("Mix", bib_config)
+
+
+class TestMeasureSelectivities:
+    def test_pipeline_produces_fits(self, bib_config, bib):
+        workload = stress_workload("Len", bib_config, queries_per_class=1, seed=3)
+        measurements = measure_selectivities(
+            workload, bib, sizes=[500, 1000, 2000], seed=0
+        )
+        assert len(measurements) == len(workload)
+        for measurement in measurements:
+            assert len(measurement.counts) == len(measurement.sizes)
+            assert measurement.fit is not None
+
+    def test_shared_graph_cache(self, bib_config, bib):
+        workload = stress_workload("Len", bib_config, queries_per_class=1, seed=3)
+        graphs = {}
+        measure_selectivities(workload, bib, sizes=[500], seed=0, graphs=graphs)
+        assert set(graphs) == {500}
+
+
+class TestTimeQuery:
+    def test_protocol_runs_and_averages(self, bib_graph):
+        query = parse_query("(?x, ?y) <- (?x, publishedIn, ?y)")
+        result = time_query(query, bib_graph, "datalog", warm_runs=5)
+        assert not result.failed
+        assert result.seconds is not None and result.seconds > 0
+        assert len(result.runs) == 5  # cold run dropped
+        # Trimmed mean: between min and max of the warm runs.
+        assert min(result.runs) <= result.seconds <= max(result.runs)
+
+    def test_failure_is_reported_not_raised(self, bib_graph):
+        query = parse_query("(?x, ?y) <- (?x, (authors.authors-)*, ?y)")
+        result = time_query(query, bib_graph, "datalog", budget_seconds=0.0)
+        assert result.failed
+        assert result.display == "-"
+
+    def test_display_format(self, bib_graph):
+        query = parse_query("(?x, ?y) <- (?x, heldIn, ?y)")
+        result = time_query(query, bib_graph, "datalog", warm_runs=3)
+        assert result.display.replace(".", "").isdigit()
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("n", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        assert "s1" in text and "40" in text
+
+    def test_format_mean_std(self):
+        assert format_mean_std(0.2, 0.417) == "0.200±0.417"

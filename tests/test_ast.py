@@ -1,0 +1,161 @@
+"""Tests for the UCRPQ AST (paper §3.3, Examples 3.4)."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.queries.ast import (
+    Conjunct,
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+    atom,
+    binary_path_query,
+    concat_path,
+    inverse_symbol,
+    is_inverse,
+    single_rule_query,
+    symbol_base,
+    union,
+)
+
+
+class TestSymbols:
+    def test_is_inverse(self):
+        assert is_inverse("a-")
+        assert not is_inverse("a")
+
+    def test_symbol_base(self):
+        assert symbol_base("a-") == "a"
+        assert symbol_base("a") == "a"
+
+    def test_inverse_is_involutive(self):
+        assert inverse_symbol(inverse_symbol("a")) == "a"
+        assert inverse_symbol("a") == "a-"
+        assert inverse_symbol("a-") == "a"
+
+
+class TestPathExpression:
+    def test_length(self):
+        assert PathExpression(("a", "b-")).length == 2
+
+    def test_epsilon(self):
+        eps = PathExpression(())
+        assert eps.is_epsilon
+        assert eps.length == 0
+        assert eps.to_text() == "eps"
+
+    def test_reversed(self):
+        path = PathExpression(("a", "b-", "c"))
+        assert path.reversed().symbols == ("c-", "b", "a-")
+
+    def test_reversed_involutive(self):
+        path = PathExpression(("a", "b-", "c"))
+        assert path.reversed().reversed() == path
+
+    def test_rejects_bad_symbol(self):
+        with pytest.raises(QuerySyntaxError):
+            PathExpression(("",))
+
+
+class TestRegularExpression:
+    def test_needs_disjunct(self):
+        with pytest.raises(QuerySyntaxError):
+            RegularExpression(())
+
+    def test_metrics(self):
+        # (a.b + c)* from Example 3.4: 2 disjuncts of lengths 2 and 1.
+        regex = union(
+            PathExpression(("a", "b")), PathExpression(("c",)), starred=True
+        )
+        assert regex.disjunct_count == 2
+        assert regex.path_lengths == [2, 1]
+        assert regex.symbols == {"a", "b", "c"}
+        assert regex.has_concatenation
+        assert not regex.has_inverse
+
+    def test_to_text_forms(self):
+        assert atom("a").to_text() == "a"
+        assert concat_path("a", "b-").to_text() == "a.b-"
+        assert union(
+            PathExpression(("a",)), PathExpression(("b",))
+        ).to_text() == "(a + b)"
+        assert union(
+            PathExpression(("a",)), starred=True
+        ).to_text() == "(a)*"
+
+    def test_reversed_swaps_inverses(self):
+        regex = union(PathExpression(("a", "b-")), PathExpression(("c",)))
+        reversed_regex = regex.reversed()
+        assert reversed_regex.disjuncts[0].symbols == ("b", "a-")
+        assert reversed_regex.disjuncts[1].symbols == ("c-",)
+
+
+class TestRulesAndQueries:
+    def example_34(self) -> Query:
+        """The two-rule query of Example 3.4."""
+        star = union(PathExpression(("a", "b")), PathExpression(("c",)), starred=True)
+        rule1 = QueryRule(
+            ("?x", "?y", "?z"),
+            (
+                Conjunct("?x", star, "?y"),
+                Conjunct("?y", atom("a"), "?w"),
+                Conjunct("?w", atom("b-"), "?z"),
+            ),
+        )
+        rule2 = QueryRule(
+            ("?x", "?y", "?z"),
+            (
+                Conjunct("?x", star, "?y"),
+                Conjunct("?y", atom("a"), "?z"),
+            ),
+        )
+        return Query((rule1, rule2))
+
+    def test_example_34_size_tuple(self):
+        # "this query has size ([2,2],[2,3],[1,2],[1,2])"
+        query = self.example_34()
+        rules, conjuncts, disjuncts, lengths = query.size_tuple()
+        assert rules == 2
+        assert conjuncts == (2, 3)
+        assert disjuncts == (1, 2)
+        assert lengths == (1, 2)
+
+    def test_example_34_arity(self):
+        assert self.example_34().arity == 3
+
+    def test_head_vars_must_occur_in_body(self):
+        with pytest.raises(QuerySyntaxError):
+            QueryRule(("?missing",), (Conjunct("?x", atom("a"), "?y"),))
+
+    def test_rules_must_agree_on_arity(self):
+        rule1 = QueryRule(("?x",), (Conjunct("?x", atom("a"), "?y"),))
+        rule2 = QueryRule(("?x", "?y"), (Conjunct("?x", atom("a"), "?y"),))
+        with pytest.raises(QuerySyntaxError):
+            Query((rule1, rule2))
+
+    def test_empty_rule_body_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            QueryRule(("?x",), ())
+
+    def test_boolean_query(self):
+        query = single_rule_query((), (Conjunct("?x", atom("a"), "?y"),))
+        assert query.is_boolean
+        assert query.arity == 0
+
+    def test_binary_path_query(self):
+        query = binary_path_query(atom("a"))
+        assert query.is_binary
+        assert query.predicates == {"a"}
+
+    def test_has_recursion(self):
+        assert self.example_34().has_recursion
+        assert not binary_path_query(atom("a")).has_recursion
+
+    def test_variables_must_be_prefixed(self):
+        with pytest.raises(QuerySyntaxError):
+            Conjunct("x", atom("a"), "?y")
+
+    def test_predicates_strip_inverses(self):
+        query = binary_path_query(concat_path("a-", "b"))
+        assert query.predicates == {"a", "b"}

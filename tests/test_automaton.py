@@ -1,0 +1,97 @@
+"""NFA construction and acceptance tests (with brute-force oracles)."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.automaton import build_nfa
+from repro.queries.ast import PathExpression, RegularExpression
+from repro.queries.parser import parse_regex
+
+
+def language_membership(regex: RegularExpression, word: tuple[str, ...]) -> bool:
+    """Oracle: does the word belong to the regex's language?"""
+    disjunct_words = {path.symbols for path in regex.disjuncts}
+    if not regex.starred:
+        return word in disjunct_words
+    # Starred: the word must split into segments, each a disjunct.
+    if word == ():
+        return True
+    non_empty = {w for w in disjunct_words if w}
+
+    def splits(remaining: tuple[str, ...]) -> bool:
+        if not remaining:
+            return True
+        for segment in non_empty:
+            if remaining[: len(segment)] == segment and splits(remaining[len(segment):]):
+                return True
+        return False
+
+    return splits(word)
+
+
+class TestBuildNfa:
+    def test_single_symbol(self):
+        nfa = build_nfa(parse_regex("a"))
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_concatenation(self):
+        nfa = build_nfa(parse_regex("a.b-"))
+        assert nfa.accepts(["a", "b-"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b-", "a"])
+
+    def test_disjunction(self):
+        nfa = build_nfa(parse_regex("(a.b + c)"))
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["c"])
+        assert not nfa.accepts(["a"])
+
+    def test_epsilon_disjunct(self):
+        nfa = build_nfa(parse_regex("(eps + a)"))
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"])
+
+    def test_star_accepts_empty_and_iterations(self):
+        nfa = build_nfa(parse_regex("(a.b + c)*"))
+        assert nfa.accepts([])
+        assert nfa.accepts(["c"])
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["a", "b", "c", "a", "b"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b", "a"])
+
+    def test_symbols_property(self):
+        nfa = build_nfa(parse_regex("(a.b- + c)*"))
+        assert nfa.symbols == {"a", "b-", "c"}
+
+
+_symbols = st.sampled_from(["a", "b", "a-"])
+_paths = st.lists(_symbols, min_size=0, max_size=3).map(
+    lambda s: PathExpression(tuple(s))
+)
+_regexes = st.builds(
+    RegularExpression,
+    st.lists(_paths, min_size=1, max_size=3).map(tuple),
+    st.booleans(),
+)
+
+
+class TestNfaAgainstOracle:
+    @given(regex=_regexes)
+    @settings(max_examples=120, deadline=None)
+    def test_acceptance_matches_language(self, regex):
+        """NFA acceptance == brute-force language membership for all
+        words up to length 4 over the used alphabet."""
+        nfa = build_nfa(regex)
+        alphabet = sorted({s for p in regex.disjuncts for s in p.symbols}) or ["a"]
+        for length in range(0, 5):
+            for word in product(alphabet, repeat=length):
+                assert nfa.accepts(list(word)) == language_membership(regex, word), (
+                    regex.to_text(),
+                    word,
+                )

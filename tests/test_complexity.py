@@ -1,0 +1,104 @@
+"""Tests for the Theorem 3.6 reduction (SAT-1-in-3 → graph config)."""
+
+from itertools import product
+
+import pytest
+
+from repro.complexity import (
+    PHI_0,
+    Formula,
+    check_witness,
+    configuration_for_formula,
+    is_one_in_three_satisfied,
+    witness_graph,
+)
+
+
+def all_valuations(n):
+    for bits in product([False, True], repeat=n):
+        yield {i + 1: bits[i] for i in range(n)}
+
+
+class TestFormula:
+    def test_phi0_shape(self):
+        assert PHI_0.variable_count == 4
+        assert PHI_0.clause_count == 2
+
+    def test_literal_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Formula(2, ((1, 2, 3),))
+        with pytest.raises(ValueError):
+            Formula(2, ((0, 1, 2),))
+
+    def test_one_in_three_check(self):
+        # x1=T, x2=T, x3=F, x4=F satisfies exactly one literal per ϕ0
+        # clause (x1 in clause 1; ¬x4 in clause 2... check via helper).
+        valuation = {1: True, 2: True, 3: False, 4: False}
+        assert is_one_in_three_satisfied(PHI_0, valuation)
+
+    def test_not_one_in_three(self):
+        # x1=T, x2=F, x3=T: clause 1 has three true literals.
+        valuation = {1: True, 2: False, 3: True, 4: False}
+        assert not is_one_in_three_satisfied(PHI_0, valuation)
+
+
+class TestReductionConfiguration:
+    def test_phi0_configuration_shape(self):
+        """The proof's counts: 3n+k+1 types incl. T/F pairs, n_ϕ nodes."""
+        config = configuration_for_formula(PHI_0)
+        schema = config.schema
+        n, k = PHI_0.variable_count, PHI_0.clause_count
+        assert len(schema.types) == 3 * n + k + 1
+        # Predicates: c_l, b_i, t_i, f_i  =>  k + 3n symbols.
+        assert len(schema.predicates) == 3 * n + k
+
+    def test_phi0_clause_edges(self):
+        """ϕ0's positive/negative occurrences map to the right sources."""
+        schema = configuration_for_formula(PHI_0).schema
+        # Clause 1 = (x1 ∨ ¬x2 ∨ x3): sources T1, F2, T3.
+        sources_c1 = {
+            key[0] for key in schema.edges if key[2] == "c1"
+        }
+        assert sources_c1 == {"T1", "F2", "T3"}
+        # Clause 2 = (¬x1 ∨ x3 ∨ ¬x4): sources F1, T3, F4.
+        sources_c2 = {
+            key[0] for key in schema.edges if key[2] == "c2"
+        }
+        assert sources_c2 == {"F1", "T3", "F4"}
+
+
+class TestReductionCorrectness:
+    def test_phi0_both_directions(self):
+        """For every valuation of ϕ0: witness checks iff 1-in-3 holds."""
+        for valuation in all_valuations(PHI_0.variable_count):
+            witness = witness_graph(PHI_0, valuation)
+            assert check_witness(PHI_0, witness) == is_one_in_three_satisfied(
+                PHI_0, valuation
+            ), valuation
+
+    def test_unsatisfiable_formula_has_no_witness(self):
+        # x1 ∨ x1 ∨ x1 and ¬x1 ∨ ¬x1 ∨ ¬x1 cannot both have exactly one
+        # true literal... actually (¬x1,¬x1,¬x1) true count is 0 or 3:
+        # never exactly 1 together with clause 1. Unsatisfiable.
+        formula = Formula(1, ((1, 1, 1), (-1, -1, -1)))
+        for valuation in all_valuations(1):
+            witness = witness_graph(formula, valuation)
+            assert not check_witness(formula, witness)
+
+    def test_satisfiable_three_variable_formula(self):
+        formula = Formula(3, ((1, 2, 3),))
+        satisfying = [
+            valuation
+            for valuation in all_valuations(3)
+            if is_one_in_three_satisfied(formula, valuation)
+        ]
+        assert len(satisfying) == 3  # exactly one of x1/x2/x3 true
+        for valuation in satisfying:
+            assert check_witness(formula, witness_graph(formula, valuation))
+
+    def test_witness_node_budget(self):
+        """Witness graphs hit the proof's 2n + k + 1 node count."""
+        valuation = {1: True, 2: True, 3: False, 4: False}
+        witness = witness_graph(PHI_0, valuation)
+        n, k = PHI_0.variable_count, PHI_0.clause_count
+        assert sum(witness.node_types.values()) == 2 * n + k + 1

@@ -1,0 +1,140 @@
+"""Unit and property tests for degree distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.schema.distributions import (
+    GaussianDistribution,
+    NON_SPECIFIED,
+    NonSpecified,
+    UniformDistribution,
+    ZipfianDistribution,
+    distribution_from_dict,
+    distribution_to_dict,
+)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUniform:
+    def test_degrees_within_bounds(self):
+        dist = UniformDistribution(2, 5)
+        degrees = dist.sample_degrees(1000, rng())
+        assert degrees.min() >= 2
+        assert degrees.max() <= 5
+
+    def test_exact_degree(self):
+        degrees = UniformDistribution(3, 3).sample_degrees(100, rng())
+        assert (degrees == 3).all()
+
+    def test_mean_degree(self):
+        assert UniformDistribution(1, 3).mean_degree() == 2.0
+
+    def test_is_bounded(self):
+        assert UniformDistribution(0, 9).is_bounded()
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(SchemaError):
+            UniformDistribution(-1, 2)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(SchemaError):
+            UniformDistribution(3, 1)
+
+    @given(lo=st.integers(0, 5), extra=st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_mean_close_to_theoretical(self, lo, extra):
+        dist = UniformDistribution(lo, lo + extra)
+        degrees = dist.sample_degrees(4000, np.random.default_rng(0))
+        assert abs(degrees.mean() - dist.mean_degree()) < 0.25 + 0.1 * extra
+
+
+class TestGaussian:
+    def test_degrees_non_negative(self):
+        degrees = GaussianDistribution(1.0, 2.0).sample_degrees(2000, rng())
+        assert degrees.min() >= 0
+
+    def test_mean_close(self):
+        degrees = GaussianDistribution(5.0, 1.0).sample_degrees(5000, rng())
+        assert abs(degrees.mean() - 5.0) < 0.2
+
+    def test_is_bounded(self):
+        assert GaussianDistribution(3.0, 1.0).is_bounded()
+
+    def test_rejects_negative_mu(self):
+        with pytest.raises(SchemaError):
+            GaussianDistribution(-1.0, 1.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(SchemaError):
+            GaussianDistribution(1.0, -1.0)
+
+
+class TestZipfian:
+    def test_mean_scaled_to_target(self):
+        degrees = ZipfianDistribution(2.5, 3.0).sample_degrees(5000, rng())
+        assert abs(degrees.mean() - 3.0) < 0.4
+
+    def test_heavy_tail_produces_hubs(self):
+        degrees = ZipfianDistribution(2.5, 2.0).sample_degrees(5000, rng())
+        # The hub degree must dwarf the mean (power-law tail).
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_hub_degree_grows_with_population(self):
+        small = ZipfianDistribution(2.0, 2.0).sample_degrees(500, np.random.default_rng(1))
+        large = ZipfianDistribution(2.0, 2.0).sample_degrees(50000, np.random.default_rng(1))
+        assert large.max() > 4 * small.max()
+
+    def test_is_unbounded(self):
+        assert not ZipfianDistribution(2.5, 2.0).is_bounded()
+
+    def test_rejects_exponent_at_most_one(self):
+        with pytest.raises(SchemaError):
+            ZipfianDistribution(1.0, 2.0)
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(SchemaError):
+            ZipfianDistribution(2.5, 0.0)
+
+    def test_empty_population(self):
+        assert len(ZipfianDistribution(2.5, 2.0).sample_degrees(0, rng())) == 0
+
+
+class TestNonSpecified:
+    def test_cannot_sample(self):
+        with pytest.raises(SchemaError):
+            NON_SPECIFIED.sample_degrees(10, rng())
+
+    def test_no_mean(self):
+        with pytest.raises(SchemaError):
+            NON_SPECIFIED.mean_degree()
+
+    def test_not_specified(self):
+        assert not NON_SPECIFIED.is_specified()
+        assert UniformDistribution(1, 1).is_specified()
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            UniformDistribution(1, 4),
+            GaussianDistribution(2.5, 0.5),
+            ZipfianDistribution(2.2, 3.0),
+            NON_SPECIFIED,
+        ],
+    )
+    def test_round_trip(self, dist):
+        assert distribution_from_dict(distribution_to_dict(dist)) == dist
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            distribution_from_dict({"type": "cauchy"})
+
+    def test_missing_type_is_non_specified(self):
+        assert isinstance(distribution_from_dict({}), NonSpecified)

@@ -1,0 +1,153 @@
+"""White-box tests for individual engine strategies.
+
+Cross-engine agreement is covered in test_engines.py; these tests pin
+the *internal* behaviours each engine is modelled on: P's merge joins
+and naive recursion, S's product-BFS relation construction, G's branch
+expansion and reachability helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.budget import EvaluationBudget, unlimited
+from repro.engine.bfs import SparqlLikeEngine
+from repro.engine.isomorphic import (
+    CypherLikeEngine,
+    _approximate_labels,
+    _forward_reachable,
+)
+from repro.engine.relations import BinaryRelation
+from repro.engine.sqllike import PostgresLikeEngine, _dedup, _merge_join
+from repro.errors import EngineBudgetExceeded, EngineCapabilityError
+from repro.generation.graph import LabeledGraph
+from repro.queries.parser import parse_query, parse_regex
+
+
+def pairs(*tuples):
+    return np.array(tuples, dtype=np.int64).reshape(-1, 2)
+
+
+class TestSqlPrimitives:
+    def test_merge_join_basic(self):
+        left = pairs((0, 1), (0, 2), (3, 1))
+        right = pairs((1, 7), (2, 8), (2, 9))
+        joined = _merge_join(left, right, unlimited())
+        assert {tuple(row) for row in joined.tolist()} == {
+            (0, 7), (0, 8), (0, 9), (3, 7)
+        }
+
+    def test_merge_join_empty_sides(self):
+        empty = np.zeros((0, 2), dtype=np.int64)
+        assert len(_merge_join(empty, pairs((1, 2)), unlimited())) == 0
+        assert len(_merge_join(pairs((1, 2)), empty, unlimited())) == 0
+
+    def test_merge_join_respects_row_budget(self):
+        left = pairs(*[(0, 1)] * 1)
+        right = pairs(*[(1, i) for i in range(100)])
+        budget = EvaluationBudget(timeout_seconds=60, max_rows=10).start()
+        with pytest.raises(EngineBudgetExceeded):
+            _merge_join(left, right, budget)
+
+    def test_dedup(self):
+        rows = pairs((1, 2), (1, 2), (0, 1))
+        deduped = _dedup(rows)
+        assert len(deduped) == 2
+        assert deduped.tolist() == [[0, 1], [1, 2]]
+
+    def test_naive_recursion_matches_reference(self, bib_graph):
+        engine = PostgresLikeEngine()
+        query = parse_query("(?x, ?y) <- (?x, (publishedIn.publishedIn-)*, ?y)")
+        answers = engine.evaluate(query, bib_graph)
+        base = BinaryRelation.from_graph_symbol(bib_graph, "publishedIn").compose(
+            BinaryRelation.from_graph_symbol(bib_graph, "publishedIn-")
+        )
+        reference = base.transitive_closure(nodes=range(bib_graph.n))
+        assert answers == reference.pairs()
+
+
+class TestBfsRelationConstruction:
+    def test_regex_relation_matches_algebraic(self, bib_graph):
+        engine = SparqlLikeEngine()
+        from repro.engine.base import SymbolRelationCache, regex_to_relation
+
+        for text in ("authors", "authors-.authors", "(authors.publishedIn + extendedTo)"):
+            regex = parse_regex(text)
+            via_bfs = engine._regex_relation(regex, bib_graph, unlimited())
+            cache = SymbolRelationCache(bib_graph)
+            via_algebra = regex_to_relation(regex, cache, unlimited())
+            assert via_bfs.pairs() == via_algebra.pairs(), text
+
+    def test_starred_regex_includes_identity(self, bib_graph):
+        engine = SparqlLikeEngine()
+        relation = engine._regex_relation(
+            parse_regex("(authors)*"), bib_graph, unlimited()
+        )
+        assert all((v, v) in relation for v in range(0, bib_graph.n, 97))
+
+
+class TestCypherInternals:
+    def test_approximate_labels_drops_inverse_and_tails(self):
+        regex = parse_regex("(a.b- + c- + eps)*")
+        # a.b-: keep first symbol 'a'; c-: strip inverse; eps dropped.
+        assert _approximate_labels(regex) == ("a", "c")
+
+    def test_forward_reachable(self, bib_config):
+        graph = LabeledGraph(bib_config)
+        graph.add_edge(0, "authors", 1)
+        graph.add_edge(1, "authors", 2)
+        graph.add_edge(3, "authors", 0)
+        reachable = _forward_reachable(0, ("authors",), graph, unlimited())
+        assert reachable == {0, 1, 2}
+
+    def test_branch_cap_raises_capability_error(self, bib_graph):
+        engine = CypherLikeEngine()
+        # 4 conjuncts x 4 disjuncts each = 256 branches > 128 cap.
+        disjunction = "(authors + publishedIn + heldIn + extendedTo)"
+        body = ", ".join(
+            f"(?x{i}, {disjunction}, ?x{i + 1})" for i in range(4)
+        )
+        query = parse_query(f"(?x0, ?x4) <- {body}")
+        with pytest.raises(EngineCapabilityError):
+            engine.evaluate(query, bib_graph)
+
+    def test_self_loop_pattern(self, bib_config):
+        graph = LabeledGraph(bib_config)
+        graph.add_edge(5, "authors", 5)
+        graph.add_edge(5, "authors", 6)
+        engine = CypherLikeEngine()
+        query = parse_query("(?x) <- (?x, authors, ?x)")
+        assert engine.evaluate(query, graph) == {(5,)}
+
+    def test_isomorphism_blocks_edge_reuse_within_match(self, bib_config):
+        """The pattern x -a-> y <-a- x needs two *distinct* edges under
+        edge-isomorphism; with a single edge there is no match."""
+        graph = LabeledGraph(bib_config)
+        graph.add_edge(1, "authors", 2)
+        engine = CypherLikeEngine()
+        query = parse_query("(?x, ?y) <- (?x, authors, ?y), (?x, authors, ?y)")
+        assert engine.evaluate(query, graph) == set()
+        # The homomorphic engines happily reuse the edge.
+        from repro.engine import evaluate_query
+
+        assert evaluate_query(query, graph, "datalog") == {(1, 2)}
+
+
+class TestCountDistinctFastPath:
+    def test_fast_path_agrees_with_materialised_count(self, bib_graph):
+        from repro.engine.algebraic import DatalogLikeEngine
+
+        engine = DatalogLikeEngine()
+        query = parse_query("(?x, ?y) <- (?x, (publishedIn.publishedIn-)*, ?y)")
+        assert engine.count_distinct(query, bib_graph) == len(
+            engine.evaluate(query, bib_graph)
+        )
+
+    def test_fast_path_not_used_for_projected_heads(self, bib_graph):
+        """Reversed-head queries must not hit the fast path blindly."""
+        from repro.engine.algebraic import DatalogLikeEngine
+
+        engine = DatalogLikeEngine()
+        query = parse_query("(?y, ?x) <- (?x, authors.publishedIn, ?y)")
+        assert engine.count_distinct(query, bib_graph) == len(
+            engine.evaluate(query, bib_graph)
+        )

@@ -1,0 +1,154 @@
+"""Cross-engine agreement and semantics tests (the §7 substrate).
+
+The three homomorphic engines (P, S, D) must return *identical* answer
+sets on every query; the openCypher-like engine (G) may legitimately
+differ on queries with repeated predicates or approximated recursion,
+but must agree on simple single-use patterns.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ENGINES, EvaluationBudget, count_distinct, evaluate_query
+from repro.engine.evaluator import engine_by_name
+from repro.errors import EngineBudgetExceeded, EngineError
+from repro.generation.generator import generate_graph
+from repro.queries.generator import generate_workload
+from repro.queries.parser import parse_query
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.schema.config import GraphConfiguration
+
+HOMOMORPHIC = ["postgres", "sparql", "datalog"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    from repro.scenarios import bib_schema
+
+    return generate_graph(GraphConfiguration(600, bib_schema()), seed=17)
+
+
+QUERIES = [
+    "(?x, ?y) <- (?x, authors, ?y)",
+    "(?x, ?y) <- (?x, authors-, ?y)",
+    "(?x, ?y) <- (?x, authors.publishedIn, ?y)",
+    "(?x, ?y) <- (?x, (authors.publishedIn + authors.extendedTo), ?y)",
+    "(?x, ?y) <- (?x, authors, ?z), (?z, publishedIn, ?y)",
+    "(?x, ?y) <- (?x, (authors.authors-)*, ?y)",
+    "(?x, ?y) <- (?x, publishedIn.heldIn, ?y)\n(?x, ?y) <- (?x, extendedTo, ?y)",
+    "() <- (?x, heldIn, ?y)",
+    "(?x) <- (?x, publishedIn, ?y), (?y, heldIn, ?z)",
+    "(?x, ?y) <- (?x, (publishedIn.publishedIn-)*, ?y)",
+]
+
+
+class TestEngineRegistry:
+    def test_four_engines(self):
+        assert set(ENGINES) == {"postgres", "sparql", "cypher", "datalog"}
+
+    def test_paper_letters(self):
+        assert engine_by_name("P").name == "postgres"
+        assert engine_by_name("S").name == "sparql"
+        assert engine_by_name("G").name == "cypher"
+        assert engine_by_name("D").name == "datalog"
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineError):
+            engine_by_name("neo4j")
+
+    def test_homomorphic_flags(self):
+        assert not ENGINES["cypher"].homomorphic
+        for name in HOMOMORPHIC:
+            assert ENGINES[name].homomorphic
+
+
+class TestHomomorphicAgreement:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_all_homomorphic_engines_agree(self, graph, text):
+        query = parse_query(text)
+        results = {
+            name: evaluate_query(query, graph, name) for name in HOMOMORPHIC
+        }
+        reference = results["datalog"]
+        for name, result in results.items():
+            assert result == reference, name
+
+    def test_count_distinct_matches_evaluate(self, graph):
+        query = parse_query(QUERIES[2])
+        for name in HOMOMORPHIC:
+            assert count_distinct(query, graph, name) == len(
+                evaluate_query(query, graph, name)
+            )
+
+    @given(seed=st.integers(0, 200))
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_agreement_on_generated_workloads(self, graph, seed):
+        """Property: generated queries get identical answers from P/S/D."""
+        workload = generate_workload(
+            WorkloadConfiguration(
+                graph.config,
+                size=3,
+                recursion_probability=0.3,
+                query_size=QuerySize(conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 3)),
+            ),
+            seed=seed,
+        )
+        for generated in workload:
+            results = {
+                name: evaluate_query(generated.query, graph, name)
+                for name in HOMOMORPHIC
+            }
+            assert results["postgres"] == results["datalog"]
+            assert results["sparql"] == results["datalog"]
+
+
+class TestCypherSemantics:
+    def test_agrees_on_single_edge(self, graph):
+        query = parse_query("(?x, ?y) <- (?x, authors, ?y)")
+        assert evaluate_query(query, graph, "cypher") == evaluate_query(
+            query, graph, "datalog"
+        )
+
+    def test_isomorphic_semantics_can_differ_on_repeated_predicates(self, graph):
+        """a-.a paths may reuse the same edge homomorphically (x == y via
+        the same author edge); edge-isomorphism drops those matches."""
+        query = parse_query("(?x, ?y) <- (?x, authors-.authors, ?y)")
+        homomorphic = evaluate_query(query, graph, "datalog")
+        isomorphic = evaluate_query(query, graph, "cypher")
+        assert isomorphic <= homomorphic
+        # The diagonal (x, x) pairs require edge reuse: G must drop them.
+        diagonal = {pair for pair in homomorphic if pair[0] == pair[1]}
+        assert diagonal and not (diagonal & isomorphic)
+
+    def test_recursion_approximation_differs(self, graph):
+        """(authors-.authors)* needs inverse-under-star: G approximates
+        and generally returns different (often near-empty) answers."""
+        query = parse_query("(?x, ?y) <- (?x, (authors-.authors)*, ?y)")
+        homomorphic = evaluate_query(query, graph, "datalog")
+        approximated = evaluate_query(query, graph, "cypher")
+        assert approximated != homomorphic
+
+
+class TestBudgets:
+    def test_timeout_failure(self, graph):
+        query = parse_query("(?x, ?y) <- (?x, (authors.authors-)*, ?y)")
+        budget = EvaluationBudget(timeout_seconds=0.0).start()
+        with pytest.raises(EngineBudgetExceeded):
+            evaluate_query(query, graph, "datalog", budget)
+
+    def test_row_cap_failure(self, graph):
+        query = parse_query("(?x, ?y) <- (?x, authors-.authors, ?y)")
+        budget = EvaluationBudget(timeout_seconds=60, max_rows=5).start()
+        with pytest.raises(EngineBudgetExceeded):
+            evaluate_query(query, graph, "postgres", budget)
+
+    @pytest.mark.parametrize("name", sorted(ENGINES))
+    def test_default_budget_allows_simple_queries(self, graph, name):
+        query = parse_query("(?x, ?y) <- (?x, publishedIn, ?y)")
+        assert count_distinct(query, graph, name) > 0

@@ -1,0 +1,109 @@
+"""Small-unit coverage: rng plumbing, workload containers, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.queries.parser import parse_query
+from repro.queries.shapes import QueryShape
+from repro.queries.workload import GeneratedQuery, Workload, WorkloadConfiguration
+from repro.rng import ensure_rng, spawn
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.types import SelectivityClass
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(5).integers(0, 100) == ensure_rng(5).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_is_deterministic_per_parent(self):
+        child_a = spawn(np.random.default_rng(1))
+        child_b = spawn(np.random.default_rng(1))
+        assert child_a.integers(0, 10**9) == child_b.integers(0, 10**9)
+
+    def test_spawn_children_are_independent(self):
+        parent = np.random.default_rng(2)
+        first, second = spawn(parent), spawn(parent)
+        assert first.integers(0, 10**9) != second.integers(0, 10**9)
+
+
+class TestWorkloadContainer:
+    def _workload(self, bib):
+        config = WorkloadConfiguration(GraphConfiguration(500, bib), size=4)
+        query = parse_query("(?x, ?y) <- (?x, authors, ?y)")
+        recursive = parse_query("(?x, ?y) <- (?x, (authors.authors-)*, ?y)")
+        workload = Workload(config)
+        workload.queries = [
+            GeneratedQuery(query, QueryShape.CHAIN, SelectivityClass.LINEAR, 1),
+            GeneratedQuery(recursive, QueryShape.CHAIN, SelectivityClass.QUADRATIC, 2),
+            GeneratedQuery(query, QueryShape.STAR, None, None, relaxed=True),
+            GeneratedQuery(query, QueryShape.CHAIN, SelectivityClass.LINEAR, 1),
+        ]
+        return workload
+
+    def test_len_iter_getitem(self, bib):
+        workload = self._workload(bib)
+        assert len(workload) == 4
+        assert workload[1].selectivity is SelectivityClass.QUADRATIC
+        assert sum(1 for _ in workload) == 4
+
+    def test_by_selectivity(self, bib):
+        workload = self._workload(bib)
+        assert len(workload.by_selectivity(SelectivityClass.LINEAR)) == 2
+        assert len(workload.by_selectivity(SelectivityClass.CONSTANT)) == 0
+
+    def test_recursive_queries(self, bib):
+        workload = self._workload(bib)
+        assert len(workload.recursive_queries()) == 1
+
+    def test_repr_mentions_metadata(self, bib):
+        generated = self._workload(bib)[2]
+        text = repr(generated)
+        assert "star" in text and "-" in text
+
+
+class TestReprs:
+    """Reprs are part of the debugging API; keep them informative."""
+
+    def test_schema_repr(self, bib):
+        text = repr(bib)
+        assert "bib" in text and "types" in text
+
+    def test_config_repr(self, bib_config):
+        assert "n=1000" in repr(bib_config)
+
+    def test_graph_repr(self, bib_graph):
+        assert "edges" in repr(bib_graph)
+
+    def test_distribution_reprs(self):
+        from repro.schema.distributions import (
+            GaussianDistribution,
+            NON_SPECIFIED,
+            UniformDistribution,
+            ZipfianDistribution,
+        )
+
+        assert repr(UniformDistribution(1, 2)) == "uniform[1,2]"
+        assert "mu=3" in repr(GaussianDistribution(3, 1))
+        assert "s=2.5" in repr(ZipfianDistribution(2.5, 2))
+        assert repr(NON_SPECIFIED) == "non-specified"
+
+    def test_triple_repr_uses_paper_notation(self):
+        from repro.selectivity.types import (
+            Cardinality,
+            Operation,
+            SelectivityTriple,
+        )
+
+        triple = SelectivityTriple(Cardinality.N, Operation.LT, Cardinality.N)
+        assert repr(triple) == "(N,<,N)"

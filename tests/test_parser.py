@@ -1,0 +1,136 @@
+"""Parser tests, including hypothesis print-parse round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuerySyntaxError
+from repro.queries.ast import (
+    Conjunct,
+    PathExpression,
+    Query,
+    QueryRule,
+    RegularExpression,
+)
+from repro.queries.parser import parse_query, parse_regex
+
+
+class TestParseRegex:
+    def test_single_symbol(self):
+        assert parse_regex("a").disjuncts == (PathExpression(("a",)),)
+
+    def test_inverse_symbol(self):
+        assert parse_regex("a-").disjuncts[0].symbols == ("a-",)
+
+    def test_concatenation(self):
+        assert parse_regex("a.b-.c").disjuncts[0].symbols == ("a", "b-", "c")
+
+    def test_disjunction(self):
+        regex = parse_regex("(a.b + c)")
+        assert regex.disjunct_count == 2
+        assert not regex.starred
+
+    def test_star(self):
+        regex = parse_regex("(a.b + c)*")
+        assert regex.starred
+
+    def test_epsilon(self):
+        regex = parse_regex("(eps + a)")
+        assert regex.disjuncts[0].is_epsilon
+
+    def test_unparenthesised_union(self):
+        regex = parse_regex("a + b")
+        assert regex.disjunct_count == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regex("a b")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regex("a & b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regex("")
+
+
+class TestParseQuery:
+    def test_example_34_round_trip(self):
+        text = (
+            "(?x, ?y, ?z) <- (?x, (a.b + c)*, ?y), (?y, a, ?w), (?w, b-, ?z)\n"
+            "(?x, ?y, ?z) <- (?x, (a.b + c)*, ?y), (?y, a, ?z)"
+        )
+        query = parse_query(text)
+        assert query.rule_count == 2
+        assert query.arity == 3
+        assert parse_query(query.to_text()) == query
+
+    def test_boolean_query(self):
+        query = parse_query("() <- (?x, a, ?y)")
+        assert query.is_boolean
+
+    def test_semicolon_separator(self):
+        query = parse_query("(?x) <- (?x, a, ?y); (?x) <- (?x, b, ?y)")
+        assert query.rule_count == 2
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(?x) (?x, a, ?y)")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   \n ")
+
+    def test_head_variable_not_in_body_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(?z) <- (?x, a, ?y)")
+
+
+# -- hypothesis round-trips -------------------------------------------------
+
+_symbols = st.sampled_from(["a", "b", "c", "a-", "b-", "knows", "knows-"])
+_paths = st.lists(_symbols, min_size=0, max_size=4).map(
+    lambda symbols: PathExpression(tuple(symbols))
+)
+_regexes = st.builds(
+    RegularExpression,
+    st.lists(_paths, min_size=1, max_size=3).map(tuple),
+    st.booleans(),
+)
+_vars = st.sampled_from(["?x", "?y", "?z", "?w"])
+_conjuncts = st.builds(Conjunct, _vars, _regexes, _vars)
+
+
+@st.composite
+def _queries(draw) -> Query:
+    rule_count = draw(st.integers(1, 2))
+    rules = []
+    head = None
+    for _ in range(rule_count):
+        body = tuple(draw(st.lists(_conjuncts, min_size=1, max_size=3)))
+        body_vars = sorted({v for c in body for v in (c.source, c.target)})
+        if head is None:
+            arity = draw(st.integers(0, len(body_vars)))
+            head = tuple(body_vars[:arity])
+        if not set(head) <= set(body_vars):
+            # Re-anchor the head in this rule's variables by reusing the
+            # first conjunct's endpoints where needed.
+            body = (Conjunct(body[0].source, body[0].regex, body[0].target),) + body[1:]
+            head = tuple(
+                v if v in body_vars else body[0].source for v in head
+            )
+        rules.append(QueryRule(head, body))
+    return Query(tuple(rules))
+
+
+class TestRoundTripProperties:
+    @given(regex=_regexes)
+    @settings(max_examples=200, deadline=None)
+    def test_regex_print_parse_round_trip(self, regex):
+        assert parse_regex(regex.to_text()) == regex
+
+    @given(query=_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_query_print_parse_round_trip(self, query):
+        assert parse_query(query.to_text()) == query

@@ -1,0 +1,146 @@
+"""Tests for workload generation (Fig. 6 + §5.2.4)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.queries.generator import WorkloadGenerator, generate_workload
+from repro.queries.shapes import QueryShape
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.types import SelectivityClass
+
+
+def config_for(schema, **kwargs) -> WorkloadConfiguration:
+    defaults = dict(
+        size=6,
+        recursion_probability=0.0,
+        query_size=QuerySize(rules=1, conjuncts=(1, 3), disjuncts=(1, 2), length=(1, 4)),
+    )
+    defaults.update(kwargs)
+    return WorkloadConfiguration(GraphConfiguration(1000, schema), **defaults)
+
+
+class TestWorkloadConfiguration:
+    def test_rejects_empty_arities(self, bib):
+        with pytest.raises(WorkloadError):
+            config_for(bib, arities=())
+
+    def test_rejects_bad_recursion_probability(self, bib):
+        with pytest.raises(WorkloadError):
+            config_for(bib, recursion_probability=1.5)
+
+    def test_rejects_zero_queries(self, bib):
+        with pytest.raises(WorkloadError):
+            config_for(bib, size=0)
+
+
+class TestGeneratedWorkloads:
+    def test_workload_size(self, bib):
+        workload = generate_workload(config_for(bib, size=12), seed=0)
+        assert len(workload) == 12
+
+    def test_deterministic_under_seed(self, bib):
+        w1 = generate_workload(config_for(bib), seed=7)
+        w2 = generate_workload(config_for(bib), seed=7)
+        assert [g.query for g in w1] == [g.query for g in w2]
+
+    def test_selectivity_classes_cycle(self, bib):
+        workload = generate_workload(config_for(bib, size=9), seed=1)
+        by_class = {
+            cls: len(workload.by_selectivity(cls)) for cls in SelectivityClass
+        }
+        assert all(count == 3 for count in by_class.values())
+
+    def test_estimated_alpha_matches_target(self, bib):
+        """The generator hits its selectivity targets on Bib (α̂ == α)."""
+        workload = generate_workload(config_for(bib, size=30), seed=3)
+        hits = sum(
+            1
+            for g in workload
+            if g.selectivity is not None and g.estimated_alpha == g.selectivity.alpha
+        )
+        assert hits >= 27  # >90%; misses are recorded as relaxed
+
+    def test_size_bounds_respected(self, bib):
+        size = QuerySize(rules=1, conjuncts=(2, 3), disjuncts=(1, 2), length=(1, 4))
+        workload = generate_workload(
+            config_for(bib, size=12, query_size=size), seed=5
+        )
+        for generated in workload:
+            rules, conjuncts, disjuncts, lengths = generated.query.size_tuple()
+            assert rules == 1
+            assert 2 <= conjuncts[0] and conjuncts[1] <= 3
+            assert disjuncts[1] <= 2
+            if not generated.relaxed:
+                # Relaxation may stretch path lengths; non-relaxed queries
+                # must stay within (modulo the documented +3 margin).
+                assert lengths[1] <= 4 + 3
+
+    def test_recursion_probability_one_yields_stars(self, bib):
+        workload = generate_workload(
+            config_for(bib, size=6, recursion_probability=1.0), seed=2
+        )
+        recursive = [g for g in workload if g.query.has_recursion]
+        assert len(recursive) >= 4  # constant targets may be forced flat
+
+    def test_no_recursion_when_probability_zero(self, bib):
+        workload = generate_workload(config_for(bib, size=12), seed=4)
+        assert not any(g.query.has_recursion for g in workload)
+
+    def test_boolean_arity(self, bib):
+        workload = generate_workload(config_for(bib, arities=(0,)), seed=0)
+        assert all(g.query.is_boolean for g in workload)
+
+    def test_higher_arity(self, bib):
+        workload = generate_workload(
+            config_for(bib, arities=(3,), size=4), seed=0
+        )
+        for generated in workload:
+            assert generated.query.arity <= 3
+            assert generated.selectivity is None  # only binary is controlled
+
+    def test_multiple_rules(self, bib):
+        size = QuerySize(rules=(2, 2), conjuncts=(1, 2), disjuncts=1, length=(1, 3))
+        workload = generate_workload(
+            config_for(bib, size=3, query_size=size), seed=6
+        )
+        assert all(g.query.rule_count == 2 for g in workload)
+
+    @pytest.mark.parametrize("shape", list(QueryShape))
+    def test_all_shapes_generate(self, bib, shape):
+        workload = generate_workload(
+            config_for(bib, shapes=(shape,), size=6), seed=8
+        )
+        assert len(workload) == 6
+        assert all(g.shape is shape for g in workload)
+
+    def test_estimator_agrees_with_recorded_alpha(self, bib):
+        workload = generate_workload(config_for(bib, size=9), seed=9)
+        estimator = SelectivityEstimator(bib)
+        for generated in workload:
+            assert estimator.query_alpha(generated.query) == generated.estimated_alpha
+
+    @given(seed=st.integers(0, 500))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_generation_never_fails(self, bib, seed):
+        """Fig. 6 always outputs a workload (property over seeds)."""
+        workload = generate_workload(
+            config_for(bib, size=6, recursion_probability=0.3), seed=seed
+        )
+        assert len(workload) == 6
+        for generated in workload:
+            assert generated.query.rules  # well-formed
+
+    def test_example_schema_generation(self, example_schema):
+        """The paper's Example 3.3 schema supports all three classes."""
+        workload = generate_workload(config_for(example_schema, size=9), seed=11)
+        targets = {g.selectivity for g in workload}
+        assert targets == set(SelectivityClass)

@@ -1,0 +1,105 @@
+"""Tests for the four use-case scenario encodings (paper §6.1)."""
+
+import pytest
+
+from repro.generation.generator import generate_graph
+from repro.scenarios import SCENARIOS, scenario_schema
+from repro.schema.config import GraphConfiguration
+from repro.schema.validate import validate_schema
+from repro.selectivity.estimator import SelectivityEstimator
+from repro.selectivity.schema_graph import SchemaGraph
+
+
+class TestAllScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_schema_is_structurally_valid(self, name):
+        schema = scenario_schema(name)
+        assert validate_schema(schema, 2000).ok
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_generates_instances(self, name):
+        schema = scenario_schema(name)
+        graph = generate_graph(GraphConfiguration(2000, schema), seed=0)
+        assert graph.edge_count > 0
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_has_fixed_and_proportional_types(self, name):
+        """Every scenario supports constant *and* growing populations —
+        the precondition for expressing all three selectivity classes."""
+        schema = scenario_schema(name)
+        kinds = {c.is_fixed for c in schema.types.values()}
+        assert kinds == {True, False}
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_schema_graph_builds(self, name):
+        graph = SchemaGraph(scenario_schema(name))
+        assert len(graph) > 0
+        assert graph.edge_count > 0
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_all_selectivity_classes_reachable(self, name):
+        """Each scenario must admit constant, linear, and quadratic
+        chain queries (the Table 2 experiments need all three)."""
+        from repro.queries.generator import generate_workload
+        from repro.queries.size import QuerySize
+        from repro.queries.workload import WorkloadConfiguration
+        from repro.selectivity.types import SelectivityClass
+
+        schema = scenario_schema(name)
+        workload = generate_workload(
+            WorkloadConfiguration(
+                GraphConfiguration(2000, schema),
+                size=3,
+                query_size=QuerySize(conjuncts=(1, 2), disjuncts=1, length=(1, 4)),
+            ),
+            seed=1,
+        )
+        targeted = {g.selectivity for g in workload}
+        assert targeted == set(SelectivityClass)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario_schema("tpch")
+
+
+class TestScenarioCharacter:
+    def test_bib_matches_fig2(self):
+        """Fig. 2(a): 50/30/10/10% plus 100 fixed cities."""
+        schema = scenario_schema("bib")
+        assert schema.types["researcher"].fraction == pytest.approx(0.5)
+        assert schema.types["paper"].fraction == pytest.approx(0.3)
+        assert schema.types["city"].count == 100
+        assert set(schema.predicates) == {
+            "authors", "publishedIn", "heldIn", "extendedTo"
+        }
+
+    def test_bib_authors_distributions(self):
+        """Fig. 2(c): authors has Gaussian in / Zipfian out."""
+        schema = scenario_schema("bib")
+        constraint = schema.edges[("researcher", "paper", "authors")]
+        assert constraint.in_dist.kind == "gaussian"
+        assert constraint.out_dist.kind == "zipfian"
+
+    def test_wd_is_densest(self):
+        """§6.2: WD instances are far denser than Bib at equal size —
+        the cause of its Table 3 generation times."""
+        densities = {}
+        for name in ("bib", "wd"):
+            schema = scenario_schema(name)
+            graph = generate_graph(GraphConfiguration(3000, schema), seed=2)
+            densities[name] = graph.edge_count / graph.n
+        assert densities["wd"] > 5 * densities["bib"]
+
+    def test_lsn_knows_is_quadratic_under_closure(self):
+        """The LSN social graph reproduces the paper's running example:
+        closure of knows is a quadratic query."""
+        from repro.queries.parser import parse_query
+
+        estimator = SelectivityEstimator(scenario_schema("lsn"))
+        query = parse_query("(?x, ?y) <- (?x, (knows)*, ?y)")
+        assert estimator.query_alpha(query) == 2
+
+    def test_sp_citations_heavy_tail(self):
+        schema = scenario_schema("sp")
+        constraint = schema.edges[("article", "article", "cites")]
+        assert not constraint.in_dist.is_bounded()

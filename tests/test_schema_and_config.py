@@ -1,0 +1,181 @@
+"""Tests for occurrence constraints, schemas, and graph configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchemaError
+from repro.schema.config import GraphConfiguration
+from repro.schema.constraints import OccurrenceConstraint, fixed, proportion
+from repro.schema.distributions import NON_SPECIFIED, UniformDistribution
+from repro.schema.schema import EXACTLY_ONE, OPTIONAL_ONE, ZERO, GraphSchema
+from repro.schema.validate import validate_schema
+
+
+class TestOccurrenceConstraint:
+    def test_fixed_resolve_ignores_total(self):
+        assert fixed(100).resolve(1_000_000) == 100
+
+    def test_proportion_resolve(self):
+        assert proportion(0.5).resolve(1000) == 500
+
+    def test_percentage_convenience(self):
+        # Fig. 2 writes "50%"; values in (1, 100] are percentages.
+        assert proportion(50).fraction == pytest.approx(0.5)
+
+    def test_kind_flags(self):
+        assert fixed(3).is_fixed and not fixed(3).is_proportional
+        assert proportion(0.2).is_proportional and not proportion(0.2).is_fixed
+
+    def test_requires_exactly_one_field(self):
+        with pytest.raises(SchemaError):
+            OccurrenceConstraint()
+        with pytest.raises(SchemaError):
+            OccurrenceConstraint(count=1, fraction=0.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(SchemaError):
+            fixed(-1)
+        with pytest.raises(SchemaError):
+            OccurrenceConstraint(fraction=1.5)
+
+
+class TestGraphSchema:
+    def test_duplicate_type_rejected(self):
+        schema = GraphSchema()
+        schema.add_type("T", proportion(1.0))
+        with pytest.raises(SchemaError):
+            schema.add_type("T", fixed(1))
+
+    def test_duplicate_edge_rejected(self, example_schema):
+        with pytest.raises(SchemaError):
+            example_schema.add_edge("T1", "T1", "a")
+
+    def test_edge_requires_declared_types(self):
+        schema = GraphSchema()
+        schema.add_type("T", proportion(1.0))
+        with pytest.raises(SchemaError):
+            schema.add_edge("T", "Unknown", "a")
+
+    def test_edge_autodeclares_predicate(self, example_schema):
+        assert set(example_schema.alphabet) == {"a", "b"}
+
+    def test_both_sides_non_specified_rejected(self):
+        schema = GraphSchema()
+        schema.add_type("T", proportion(1.0))
+        with pytest.raises(SchemaError):
+            schema.add_edge("T", "T", "a", NON_SPECIFIED, NON_SPECIFIED)
+
+    def test_macros(self):
+        schema = GraphSchema()
+        schema.add_type("A", fixed(1))
+        schema.add_type("B", fixed(1))
+        c1 = schema.add_edge_macro("A", "B", "one", EXACTLY_ONE)
+        c2 = schema.add_edge_macro("A", "B", "opt", OPTIONAL_ONE)
+        c3 = schema.add_edge_macro("A", "B", "zero", ZERO)
+        assert c1.out_dist == UniformDistribution(1, 1)
+        assert c2.out_dist == UniformDistribution(0, 1)
+        assert c3.out_dist == UniformDistribution(0, 0)
+        for c in (c1, c2, c3):
+            assert not c.in_dist.is_specified()
+
+    def test_lookup_helpers(self, example_schema):
+        assert len(example_schema.edges_with_predicate("b")) == 3
+        assert len(example_schema.edges_from("T1")) == 2
+        assert len(example_schema.edges_to("T2")) == 2
+        assert example_schema.type_is_fixed("T3")
+        assert not example_schema.type_is_fixed("T1")
+
+    def test_unknown_type_lookup(self, example_schema):
+        with pytest.raises(SchemaError):
+            example_schema.type_is_fixed("nope")
+
+
+class TestGraphConfiguration:
+    def test_fixed_types_served_first(self, bib):
+        config = GraphConfiguration(1000, bib)
+        assert config.count_of("city") == 100
+        # Remaining 900 split 50/30/10/10.
+        assert config.count_of("researcher") == 450
+        assert config.count_of("paper") == 270
+
+    def test_total_nodes_matches_n(self, bib):
+        for n in (150, 999, 1000, 12345):
+            assert GraphConfiguration(n, bib).total_nodes == n
+
+    def test_rejects_when_fixed_exceeds_n(self, bib):
+        with pytest.raises(ConfigurationError):
+            GraphConfiguration(50, bib)  # 100 cities cannot fit
+
+    def test_rejects_non_positive_n(self, bib):
+        with pytest.raises(ConfigurationError):
+            GraphConfiguration(0, bib)
+
+    def test_ranges_are_contiguous_partition(self, example_schema):
+        config = GraphConfiguration(500, example_schema)
+        cursor = 0
+        for type_range in config.ranges.values():
+            assert type_range.start == cursor
+            cursor = type_range.stop
+        assert cursor == config.total_nodes
+
+    def test_node_id_and_type_of_agree(self, example_schema):
+        config = GraphConfiguration(500, example_schema)
+        for type_name in example_schema.type_names:
+            if config.count_of(type_name) == 0:
+                continue
+            node = config.node_id(type_name, 0)
+            assert config.type_of(node) == type_name
+
+    def test_node_id_bounds_checked(self, example_schema):
+        config = GraphConfiguration(500, example_schema)
+        with pytest.raises(IndexError):
+            config.node_id("T3", 1)  # only one T3 node exists
+
+    def test_scaled_keeps_schema(self, bib_config):
+        bigger = bib_config.scaled(2000)
+        assert bigger.schema is bib_config.schema
+        assert bigger.n == 2000
+
+    def test_proportions_not_summing_to_one_are_normalised(self):
+        schema = GraphSchema()
+        schema.add_type("X", proportion(0.2))
+        schema.add_type("Y", proportion(0.2))
+        config = GraphConfiguration(100, schema)
+        # 0.2/0.4 each of the full budget.
+        assert config.count_of("X") == 50
+        assert config.count_of("Y") == 50
+
+
+class TestValidate:
+    def test_example_schema_is_valid(self, example_schema):
+        assert validate_schema(example_schema).ok
+
+    def test_bib_schema_is_valid(self, bib):
+        assert validate_schema(bib, 1000).ok
+
+    def test_overfull_proportions_error(self):
+        schema = GraphSchema()
+        schema.add_type("X", proportion(0.8))
+        schema.add_type("Y", proportion(0.8))
+        diagnostics = validate_schema(schema)
+        assert not diagnostics.ok
+        with pytest.raises(SchemaError):
+            diagnostics.raise_if_errors()
+
+    def test_unused_type_warns(self):
+        schema = GraphSchema()
+        schema.add_type("X", proportion(1.0))
+        diagnostics = validate_schema(schema)
+        assert diagnostics.ok
+        assert any("no edge constraint" in w for w in diagnostics.warnings)
+
+    def test_volume_mismatch_warns(self):
+        schema = GraphSchema()
+        schema.add_type("X", proportion(0.5))
+        schema.add_type("Y", proportion(0.5))
+        schema.add_edge(
+            "X", "Y", "a",
+            in_dist=UniformDistribution(10, 10),
+            out_dist=UniformDistribution(1, 1),
+        )
+        diagnostics = validate_schema(schema, 1000)
+        assert any("truncate" in w for w in diagnostics.warnings)

@@ -1,0 +1,186 @@
+"""Tests for the selectivity algebra (paper §5.2.2, Table 1, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selectivity.algebra import (
+    ALL_OPERATIONS,
+    alpha_of_triple,
+    compose,
+    compose_ops,
+    disjoin,
+    disjoin_ops,
+    identity_triple,
+    normalise,
+    permitted_triples,
+    star,
+)
+from repro.selectivity.types import (
+    Cardinality,
+    Operation,
+    SelectivityClass,
+    SelectivityTriple,
+)
+
+ONE, N = Cardinality.ONE, Cardinality.N
+EQ, LT, GT, DIA, CROSS = (
+    Operation.EQ,
+    Operation.LT,
+    Operation.GT,
+    Operation.DIA,
+    Operation.CROSS,
+)
+
+
+def t(source, op, target) -> SelectivityTriple:
+    return SelectivityTriple(source, op, target)
+
+
+class TestOperationTables:
+    def test_paper_anchor_lt_then_gt_is_dia(self):
+        """'the ◇ is the result of a < followed by a >' (§5.2.2)."""
+        assert compose_ops(LT, GT) is DIA
+
+    def test_paper_anchor_gt_then_lt_is_cross(self):
+        """'the × is the result of a > followed by a <' (§5.2.2)."""
+        assert compose_ops(GT, LT) is CROSS
+
+    def test_eq_is_identity_for_both_tables(self):
+        for op in ALL_OPERATIONS:
+            assert compose_ops(EQ, op) is op
+            assert compose_ops(op, EQ) is op
+            assert disjoin_ops(EQ, op) is op
+            assert disjoin_ops(op, EQ) is op
+
+    def test_cross_is_absorbing(self):
+        for op in ALL_OPERATIONS:
+            assert compose_ops(CROSS, op) is CROSS
+            assert compose_ops(op, CROSS) is CROSS
+            assert disjoin_ops(CROSS, op) is CROSS
+            assert disjoin_ops(op, CROSS) is CROSS
+
+    @given(o1=st.sampled_from(ALL_OPERATIONS), o2=st.sampled_from(ALL_OPERATIONS))
+    @settings(max_examples=30, deadline=None)
+    def test_disjunction_is_commutative(self, o1, o2):
+        assert disjoin_ops(o1, o2) is disjoin_ops(o2, o1)
+
+    @given(op=st.sampled_from(ALL_OPERATIONS))
+    @settings(max_examples=10, deadline=None)
+    def test_disjunction_is_idempotent(self, op):
+        assert disjoin_ops(op, op) is op
+
+    def test_conjunction_not_commutative(self):
+        # < · > = ◇ but > · < = ×: order matters (Fig. 7b).
+        assert compose_ops(LT, GT) is not compose_ops(GT, LT)
+
+    def test_exact_conjunction_table(self):
+        """Full Fig. 7(b) transcription (column=first, row=second)."""
+        expected = {
+            (EQ, EQ): EQ, (EQ, LT): LT, (EQ, GT): GT, (EQ, DIA): DIA, (EQ, CROSS): CROSS,
+            (LT, EQ): LT, (LT, LT): LT, (LT, GT): DIA, (LT, DIA): DIA, (LT, CROSS): CROSS,
+            (GT, EQ): GT, (GT, LT): CROSS, (GT, GT): GT, (GT, DIA): CROSS, (GT, CROSS): CROSS,
+            (DIA, EQ): DIA, (DIA, LT): CROSS, (DIA, GT): DIA, (DIA, DIA): CROSS, (DIA, CROSS): CROSS,
+            (CROSS, EQ): CROSS, (CROSS, LT): CROSS, (CROSS, GT): CROSS, (CROSS, DIA): CROSS, (CROSS, CROSS): CROSS,
+        }
+        for (o1, o2), result in expected.items():
+            assert compose_ops(o1, o2) is result, f"{o1}·{o2}"
+
+    def test_exact_disjunction_table(self):
+        """Full Fig. 7(a) transcription."""
+        expected = {
+            (EQ, LT): LT, (EQ, GT): GT, (EQ, DIA): DIA,
+            (LT, GT): DIA, (LT, DIA): DIA, (GT, DIA): DIA,
+        }
+        for (o1, o2), result in expected.items():
+            assert disjoin_ops(o1, o2) is result
+            assert disjoin_ops(o2, o1) is result
+
+
+class TestNormalisation:
+    def test_forbidden_one_triples_collapse(self):
+        """(1,×,1) and (1,◇,1) must be replaced by (1,=,1) (§5.2.2)."""
+        assert normalise(t(ONE, CROSS, ONE)) == t(ONE, EQ, ONE)
+        assert normalise(t(ONE, DIA, ONE)) == t(ONE, EQ, ONE)
+
+    def test_one_to_n_forced_to_lt(self):
+        for op in ALL_OPERATIONS:
+            assert normalise(t(ONE, op, N)) == t(ONE, LT, N)
+
+    def test_n_to_one_forced_to_gt(self):
+        for op in ALL_OPERATIONS:
+            assert normalise(t(N, op, ONE)) == t(N, GT, ONE)
+
+    def test_n_to_n_untouched(self):
+        for op in ALL_OPERATIONS:
+            assert normalise(t(N, op, N)) == t(N, op, N)
+
+    def test_permitted_triples_are_exactly_eight(self):
+        triples = permitted_triples()
+        assert len(triples) == 8
+        assert t(ONE, EQ, ONE) in triples
+        assert t(ONE, LT, N) in triples
+        assert t(N, GT, ONE) in triples
+
+
+class TestTripleOperations:
+    def test_compose_requires_matching_middle(self):
+        with pytest.raises(ValueError):
+            compose(t(N, EQ, N), t(ONE, LT, N))
+
+    def test_disjoin_requires_matching_endpoints(self):
+        with pytest.raises(ValueError):
+            disjoin(t(N, EQ, N), t(ONE, LT, N))
+
+    def test_star_requires_loop(self):
+        with pytest.raises(ValueError):
+            star(t(ONE, LT, N))
+
+    def test_knows_closure_is_quadratic(self):
+        """Transitive closure of a (N,◇,N) relation is (N,×,N) (§5.2.1)."""
+        knows = t(N, DIA, N)
+        assert star(knows) == t(N, CROSS, N)
+        assert alpha_of_triple(star(knows)) == 2
+
+    def test_flip_swaps_lt_gt(self):
+        assert t(N, LT, N).flipped() == t(N, GT, N)
+        assert t(ONE, LT, N).flipped() == t(N, GT, ONE)
+        assert t(N, CROSS, N).flipped() == t(N, CROSS, N)
+
+    def test_identity_triple(self):
+        assert identity_triple(N) == t(N, EQ, N)
+        assert identity_triple(ONE) == t(ONE, EQ, ONE)
+
+
+class TestAlpha:
+    def test_constant(self):
+        assert alpha_of_triple(t(ONE, EQ, ONE)) == 0
+
+    def test_quadratic(self):
+        assert alpha_of_triple(t(N, CROSS, N)) == 2
+
+    @pytest.mark.parametrize(
+        "triple",
+        [t(N, EQ, N), t(N, LT, N), t(N, GT, N), t(N, DIA, N), t(ONE, LT, N), t(N, GT, ONE)],
+    )
+    def test_linear(self, triple):
+        assert alpha_of_triple(triple) == 1
+
+    def test_triple_alpha_property(self):
+        assert t(N, CROSS, N).alpha == 2
+
+    def test_selectivity_class_round_trip(self):
+        for cls in SelectivityClass:
+            assert SelectivityClass.from_alpha(cls.alpha) is cls
+
+    @given(
+        o1=st.sampled_from(ALL_OPERATIONS),
+        o2=st.sampled_from(ALL_OPERATIONS),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_disjunction_alpha_is_max(self, o1, o2):
+        """Adding a disjunct never lowers the class (N-N triples)."""
+        merged = disjoin(t(N, o1, N), t(N, o2, N))
+        assert alpha_of_triple(merged) >= max(
+            alpha_of_triple(t(N, o1, N)), alpha_of_triple(t(N, o2, N))
+        )

@@ -1,0 +1,285 @@
+"""Tests for edge classes, schema graph, distances, G_sel, path sampler.
+
+These follow the paper's running example: the Example 3.3 schema with
+its Example 5.1 base triples, the Fig. 8 schema-graph snippet, and the
+Fig. 9 selectivity-graph excerpt.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.selectivity.distance import DistanceMatrix
+from repro.selectivity.edge_classes import (
+    all_symbols,
+    edge_triple,
+    symbol_triples,
+    type_cardinality,
+)
+from repro.selectivity.path_sampler import PathSampler
+from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+from repro.selectivity.selectivity_graph import SelectivityGraph
+from repro.selectivity.types import Cardinality, Operation, SelectivityTriple
+
+ONE, N = Cardinality.ONE, Cardinality.N
+EQ, LT, GT, DIA, CROSS = (
+    Operation.EQ,
+    Operation.LT,
+    Operation.GT,
+    Operation.DIA,
+    Operation.CROSS,
+)
+
+
+def t(source, op, target):
+    return SelectivityTriple(source, op, target)
+
+
+class TestEdgeClasses:
+    """Example 5.1: base triples of the Example 3.3 schema."""
+
+    def test_type_cardinalities(self, example_schema):
+        assert type_cardinality(example_schema, "T1") is N
+        assert type_cardinality(example_schema, "T2") is N
+        assert type_cardinality(example_schema, "T3") is ONE
+
+    def test_zipfian_out_gives_lt(self, example_schema):
+        # sel_{T1,T1}(a) = (N,<,N) because of the Zipfian out-distribution.
+        triples = symbol_triples(example_schema, "a")
+        assert triples[("T1", "T1")] == t(N, LT, N)
+
+    def test_inverse_flips_to_gt(self, example_schema):
+        # sel_{T1,T1}(a-) = (N,>,N).
+        triples = symbol_triples(example_schema, "a-")
+        assert triples[("T1", "T1")] == t(N, GT, N)
+
+    def test_non_zipfian_nn_gives_eq(self, example_schema):
+        # sel_{T1,T2}(b) = (N,=,N) and sel_{T2,T2}(b) = (N,=,N).
+        triples = symbol_triples(example_schema, "b")
+        assert triples[("T1", "T2")] == t(N, EQ, N)
+        assert triples[("T2", "T2")] == t(N, EQ, N)
+
+    def test_fixed_target_gives_gt_one(self, example_schema):
+        # sel_{T2,T3}(b) = (N,>,1) and sel_{T3,T2}(b-) = (1,<,N).
+        assert symbol_triples(example_schema, "b")[("T2", "T3")] == t(N, GT, ONE)
+        assert symbol_triples(example_schema, "b-")[("T3", "T2")] == t(ONE, LT, N)
+
+    def test_unknown_predicate_rejected(self, example_schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            symbol_triples(example_schema, "nope")
+
+    def test_all_symbols(self, example_schema):
+        assert set(all_symbols(example_schema)) == {"a", "a-", "b", "b-"}
+
+    def test_double_zipfian_gives_dia(self, bib):
+        # A both-ways power law (LSN's knows) classifies as ◇; test via a
+        # purpose-built constraint.
+        from repro.schema.constraints import proportion
+        from repro.schema.distributions import ZipfianDistribution
+        from repro.schema.schema import GraphSchema
+
+        schema = GraphSchema()
+        schema.add_type("person", proportion(1.0))
+        constraint = schema.add_edge(
+            "person", "person", "knows",
+            in_dist=ZipfianDistribution(2.5, 2.0),
+            out_dist=ZipfianDistribution(2.5, 2.0),
+        )
+        assert edge_triple(schema, constraint) == t(N, DIA, N)
+
+
+class TestSchemaGraph:
+    def test_fig8_nodes_exist(self, example_schema):
+        """The Fig. 8 snippet's nodes are present in G_S."""
+        graph = SchemaGraph(example_schema)
+        for node in (
+            SchemaGraphNode("T1", t(N, EQ, N)),
+            SchemaGraphNode("T1", t(N, LT, N)),
+            SchemaGraphNode("T1", t(N, DIA, N)),
+            SchemaGraphNode("T2", t(N, EQ, N)),
+            SchemaGraphNode("T2", t(N, CROSS, N)),
+            SchemaGraphNode("T3", t(N, GT, ONE)),
+        ):
+            assert node in graph
+
+    def test_fig8_a_edge(self, example_schema):
+        """(T1,(N,=,N)) --a--> (T1,(N,<,N)): (N,=,N)·(N,<,N)=(N,<,N)."""
+        graph = SchemaGraph(example_schema)
+        origin = SchemaGraphNode("T1", t(N, EQ, N))
+        successors = {
+            (symbol, node.type_name, node.triple)
+            for symbol, node in graph.successors(origin)
+        }
+        assert ("a", "T1", t(N, LT, N)) in successors
+
+    def test_start_nodes(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        starts = graph.start_nodes()
+        assert SchemaGraphNode("T1", t(N, EQ, N)) in starts
+        assert SchemaGraphNode("T3", t(ONE, EQ, ONE)) in starts
+
+    def test_triple_target_matches_type_cardinality(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        for node in graph.nodes:
+            expected = type_cardinality(example_schema, node.type_name)
+            assert node.triple.target is expected
+
+    def test_edges_preserve_source_cardinality(self, example_schema):
+        """Walking G_S never changes the triple's source component."""
+        graph = SchemaGraph(example_schema)
+        for node in graph.nodes:
+            for _, successor in graph.successors(node):
+                assert successor.triple.source is node.triple.source
+
+
+class TestDistanceMatrix:
+    def test_self_distance_zero(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        matrix = DistanceMatrix(graph)
+        for node in graph.nodes:
+            assert matrix.distance(node, node) == 0
+
+    def test_one_step_distance(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        matrix = DistanceMatrix(graph)
+        origin = graph.start_node("T1")
+        target = SchemaGraphNode("T1", t(N, LT, N))
+        assert matrix.distance(origin, target) == 1
+
+    def test_unreachable_is_inf(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        matrix = DistanceMatrix(graph)
+        # From the N-source start of T1 one can never reach a (1,...)-
+        # source triple: those track paths that started on a fixed type.
+        origin = graph.start_node("T1")
+        target = graph.start_node("T3")
+        assert matrix.distance(origin, target) == math.inf
+
+    def test_reachable_within(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        matrix = DistanceMatrix(graph)
+        origin = graph.start_node("T1")
+        within_two = matrix.reachable_within(origin, 2)
+        assert origin in within_two
+        assert all(matrix.distance(origin, node) <= 2 for node in within_two)
+
+
+class TestSelectivityGraph:
+    def test_fig9_edge_exists(self, example_schema):
+        """(T1,(N,=,N)) can reach (T2,(N,×,N)) within length 4 (Ex. 5.3)."""
+        graph = SchemaGraph(example_schema)
+        sel_graph = SelectivityGraph(graph, 1, 4)
+        origin = SchemaGraphNode("T1", t(N, EQ, N))
+        destination = SchemaGraphNode("T2", t(N, CROSS, N))
+        assert sel_graph.has_edge(origin, destination)
+
+    def test_fig9_missing_edge(self, example_schema):
+        """No path back from (T2,(N,×,N)) to (T1,(N,=,N)) (Ex. 5.3)."""
+        graph = SchemaGraph(example_schema)
+        sel_graph = SelectivityGraph(graph, 1, 4)
+        origin = SchemaGraphNode("T2", t(N, CROSS, N))
+        destination = SchemaGraphNode("T1", t(N, EQ, N))
+        assert not sel_graph.has_edge(origin, destination)
+
+    def test_bad_interval_rejected(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        with pytest.raises(ValueError):
+            SelectivityGraph(graph, 3, 1)
+
+    def test_edges_respect_distance(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        matrix = DistanceMatrix(graph)
+        sel_graph = SelectivityGraph(graph, 2, 3)
+        for origin in graph.nodes:
+            for destination in sel_graph.successors(origin):
+                assert matrix.distance(origin, destination) <= 3
+
+
+class TestPathSampler:
+    def _brute_force_paths(self, graph, start, targets, length):
+        """Enumerate label paths of exactly `length` from start to targets."""
+        paths = []
+
+        def walk(node, symbols):
+            if len(symbols) == length:
+                if node in targets:
+                    paths.append(tuple(symbols))
+                return
+            for symbol, successor in graph.successors(node):
+                walk(successor, symbols + [symbol])
+
+        walk(start, [])
+        return paths
+
+    def test_counts_match_brute_force(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        sampler = PathSampler(graph)
+        start = graph.start_node("T1")
+        targets = [n for n in graph.nodes if n.triple == t(N, CROSS, N)]
+        for length in range(0, 4):
+            brute = self._brute_force_paths(graph, start, set(targets), length)
+            assert sampler.count_from(start, targets, length) == len(brute)
+
+    def test_sampled_paths_are_valid(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        sampler = PathSampler(graph)
+        starts = graph.start_nodes()
+        targets = [n for n in graph.nodes if n.triple == t(N, CROSS, N)]
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            path = sampler.sample_path(starts, targets, 3, rng)
+            if path is None:
+                continue
+            assert path.length == 3
+            assert path.end in targets
+            # Re-walk the path through G_S to confirm the transitions.
+            current = path.start
+            for symbol, node in zip(path.symbols, path.nodes[1:]):
+                assert (symbol, node) in graph.successors(current)
+                current = node
+
+    def test_sampling_is_uniform_over_paths(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        sampler = PathSampler(graph)
+        start = graph.start_node("T1")
+        targets = {n for n in graph.nodes if n.type_name == "T2"}
+        brute = self._brute_force_paths(graph, start, targets, 2)
+        assert len(brute) >= 2
+        rng = np.random.default_rng(1)
+        counts = {path: 0 for path in brute}
+        draws = 600
+        for _ in range(draws):
+            sampled = sampler.sample_path([start], targets, 2, rng)
+            counts[sampled.symbols] += 1
+        expected = draws / len(brute)
+        for path, observed in counts.items():
+            assert observed == pytest.approx(expected, rel=0.5), path
+
+    def test_range_sampling_relaxes_length(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        sampler = PathSampler(graph)
+        start = graph.start_node("T2")
+        # Only b (towards T3) leaves T2's start in one step; a target
+        # only reachable at length 1 must be found by relaxing [2, 3].
+        targets = [n for n in graph.nodes if n.triple == t(N, GT, ONE)]
+        rng = np.random.default_rng(2)
+        direct = sampler.sample_path_in_range([start], targets, 2, 3, rng)
+        relaxed = sampler.sample_path_in_range(
+            [start], targets, 2, 3, rng, relax_to=4
+        )
+        # Either the interval already admits a longer path, or relaxation
+        # found one outside it; in both cases the result is valid.
+        for path in (direct, relaxed):
+            if path is not None:
+                assert path.end in targets
+
+    def test_impossible_target_returns_none(self, example_schema):
+        graph = SchemaGraph(example_schema)
+        sampler = PathSampler(graph)
+        start = graph.start_node("T1")
+        # (1,=,1)-targets are unreachable from an N-type start.
+        targets = [n for n in graph.nodes if n.triple == t(ONE, EQ, ONE)]
+        assert sampler.sample_path([start], targets, 2, 0) is None

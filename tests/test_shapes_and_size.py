@@ -1,0 +1,131 @@
+"""Tests for query sizes (t) and skeleton shapes (f)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.queries.shapes import QueryShape, build_skeleton
+from repro.queries.size import Interval, QuerySize
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(2, 4)
+        assert 2 in interval and 4 in interval
+        assert 1 not in interval and 5 not in interval
+
+    def test_iteration(self):
+        assert list(Interval(1, 3)) == [1, 2, 3]
+
+    def test_sample_in_bounds(self):
+        interval = Interval(3, 7)
+        rng = np.random.default_rng(0)
+        samples = {interval.sample(rng) for _ in range(100)}
+        assert samples <= set(range(3, 8))
+        assert len(samples) > 1
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(WorkloadError):
+            Interval(3, 1)
+        with pytest.raises(WorkloadError):
+            Interval(-1, 2)
+
+
+class TestQuerySize:
+    def test_accepts_ints_and_pairs(self):
+        size = QuerySize(rules=1, conjuncts=(2, 3), disjuncts=2, length=(1, 4))
+        assert size.rules == Interval(1, 1)
+        assert size.conjuncts == Interval(2, 3)
+        assert size.disjuncts == Interval(2, 2)
+        assert size.length == Interval(1, 4)
+
+    def test_admits(self):
+        from repro.queries.parser import parse_query
+
+        size = QuerySize(rules=1, conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 2))
+        assert size.admits(parse_query("(?x, ?y) <- (?x, a.b, ?y)"))
+        assert not size.admits(
+            parse_query("(?x, ?y) <- (?x, a, ?z), (?z, b, ?w), (?w, c, ?y)")
+        )
+
+
+class TestSkeletons:
+    def test_chain_structure(self):
+        skeleton = build_skeleton(QueryShape.CHAIN, 3)
+        assert [c.source for c in skeleton.conjuncts] == ["?x0", "?x1", "?x2"]
+        assert [c.target for c in skeleton.conjuncts] == ["?x1", "?x2", "?x3"]
+        assert skeleton.chain == (0, 1, 2)
+        assert skeleton.endpoints() == ("?x0", "?x3")
+
+    def test_star_shares_source(self):
+        skeleton = build_skeleton(QueryShape.STAR, 4)
+        assert {c.source for c in skeleton.conjuncts} == {"?x0"}
+        assert len({c.target for c in skeleton.conjuncts}) == 4
+
+    def test_cycle_two_chains_share_endpoints(self):
+        skeleton = build_skeleton(QueryShape.CYCLE, 4)
+        # Both chains run from ?x0 to the shared end variable.
+        variables = skeleton.variables
+        sources = [c.source for c in skeleton.conjuncts]
+        assert sources.count("?x0") == 2
+        # Some variable is the target of exactly two conjuncts (the join).
+        targets = [c.target for c in skeleton.conjuncts]
+        assert any(targets.count(v) == 2 for v in variables)
+
+    def test_cycle_single_conjunct_is_self_loop(self):
+        skeleton = build_skeleton(QueryShape.CYCLE, 1)
+        conjunct = skeleton.conjuncts[0]
+        assert conjunct.source == conjunct.target
+
+    def test_star_chain_has_spine_and_branches(self):
+        skeleton = build_skeleton(QueryShape.STAR_CHAIN, 6, rng=3)
+        spine = skeleton.chain
+        assert len(spine) >= 2
+        assert len(skeleton.conjuncts) == 6
+        # Branch sources are spine variables.
+        spine_vars = {skeleton.conjuncts[i].source for i in spine}
+        spine_vars |= {skeleton.conjuncts[i].target for i in spine}
+        for index, conjunct in enumerate(skeleton.conjuncts):
+            if index not in spine:
+                assert conjunct.source in spine_vars
+
+    def test_zero_conjuncts_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_skeleton(QueryShape.CHAIN, 0)
+
+    @given(
+        shape=st.sampled_from(list(QueryShape)),
+        count=st.integers(1, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placeholders_are_dense_and_unique(self, shape, count, seed):
+        skeleton = build_skeleton(shape, count, rng=seed)
+        placeholders = sorted(c.placeholder for c in skeleton.conjuncts)
+        assert placeholders == list(range(count))
+        assert set(skeleton.chain) <= set(placeholders)
+
+    @given(
+        shape=st.sampled_from(list(QueryShape)),
+        count=st.integers(2, 8),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_skeleton_is_connected(self, shape, count, seed):
+        """Every skeleton body is a connected variable graph."""
+        skeleton = build_skeleton(shape, count, rng=seed)
+        adjacency: dict[str, set[str]] = {}
+        for conjunct in skeleton.conjuncts:
+            adjacency.setdefault(conjunct.source, set()).add(conjunct.target)
+            adjacency.setdefault(conjunct.target, set()).add(conjunct.source)
+        start = skeleton.conjuncts[0].source
+        seen = {start}
+        stack = [start]
+        while stack:
+            for neighbour in adjacency[stack.pop()]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        assert seen == set(skeleton.variables)

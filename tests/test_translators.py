@@ -1,0 +1,185 @@
+"""Tests for the four concrete-syntax translators and the XML format."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TranslationError
+from repro.queries.parser import parse_query
+from repro.translate import (
+    TRANSLATORS,
+    query_from_xml,
+    query_to_xml,
+    translate,
+    workload_from_xml,
+    workload_to_xml,
+)
+
+SIMPLE = parse_query("(?x, ?y) <- (?x, a.b-, ?y), (?y, c, ?z)")
+RECURSIVE = parse_query("(?x, ?y) <- (?x, (a.b- + c)*, ?y)")
+UNION_Q = parse_query("(?x) <- (?x, a, ?y)\n(?x) <- (?x, b, ?y)")
+BOOLEAN = parse_query("() <- (?x, a, ?y)")
+
+
+class TestRegistry:
+    def test_four_dialects_registered(self):
+        assert set(TRANSLATORS) == {"sparql", "cypher", "sql", "datalog"}
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(TranslationError):
+            translate(SIMPLE, "gremlin")
+
+    @pytest.mark.parametrize("dialect", sorted(TRANSLATORS))
+    def test_all_dialects_handle_all_fixture_queries(self, dialect):
+        for query in (SIMPLE, RECURSIVE, UNION_Q, BOOLEAN):
+            text = translate(query, dialect, count_distinct=True)
+            assert text.strip()
+
+
+class TestSparql:
+    def test_property_path_operators(self):
+        text = translate(SIMPLE, "sparql")
+        assert ":a/^:b" in text  # concatenation + inverse
+        assert "SELECT DISTINCT ?x ?y" in text
+
+    def test_star_rendering(self):
+        text = translate(RECURSIVE, "sparql")
+        assert ")*" in text
+
+    def test_union_blocks(self):
+        text = translate(UNION_Q, "sparql")
+        assert text.count("UNION") == 1
+
+    def test_ask_for_boolean(self):
+        assert "ASK" in translate(BOOLEAN, "sparql")
+
+    def test_count_distinct_wrapper(self):
+        text = translate(SIMPLE, "sparql", count_distinct=True)
+        assert "COUNT(*)" in text and "DISTINCT" in text
+
+
+class TestCypher:
+    def test_direction_arrows(self):
+        text = translate(SIMPLE, "cypher")
+        assert "-[:a]->" in text
+        assert "<-[:b]-" in text  # inverse becomes a reversed arrow
+
+    def test_recursion_workaround_warns(self):
+        text = translate(RECURSIVE, "cypher")
+        assert "WARNING" in text
+        assert "*0.." in text
+        # Only the first symbol of a.b- and the non-inverse survive.
+        assert "[:a|c*0..]" in text
+
+    def test_pure_forward_star_not_approximated(self):
+        query = parse_query("(?x, ?y) <- (?x, (a + b)*, ?y)")
+        text = translate(query, "cypher")
+        assert "WARNING" not in text
+        assert "[:a|b*0..]" in text
+
+    def test_disjunction_expands_to_union(self):
+        query = parse_query("(?x, ?y) <- (?x, (a + b), ?y)")
+        text = translate(query, "cypher")
+        assert text.count("UNION") == 1
+
+    def test_count_uses_call_subquery(self):
+        text = translate(SIMPLE, "cypher", count_distinct=True)
+        assert "CALL {" in text and "count(*)" in text
+
+
+class TestSql:
+    def test_tables_and_ctes(self):
+        text = translate(SIMPLE, "sql")
+        assert "edge_a" in text and "edge_b" in text and "edge_c" in text
+        assert "WITH" in text and "SELECT DISTINCT" in text
+
+    def test_inverse_swaps_join_columns(self):
+        text = translate(parse_query("(?x, ?y) <- (?x, a-, ?y)"), "sql")
+        assert "t0.trg AS src" in text
+
+    def test_recursive_cte(self):
+        text = translate(RECURSIVE, "sql")
+        assert "WITH RECURSIVE" in text
+        assert "FROM nodes" in text  # reflexive base
+
+    def test_non_recursive_has_plain_with(self):
+        text = translate(SIMPLE, "sql")
+        assert "WITH RECURSIVE" not in text
+
+    def test_count_wrapper(self):
+        text = translate(SIMPLE, "sql", count_distinct=True)
+        assert "SELECT COUNT(*)" in text
+
+    def test_shared_variable_join_condition(self):
+        text = translate(SIMPLE, "sql")
+        assert "WHERE" in text and "=" in text
+
+
+class TestDatalog:
+    def test_aux_predicates_and_answer(self):
+        text = translate(SIMPLE, "datalog")
+        assert "p0(X0, X2) :- a(X0, X1), b(X2, X1)." in text
+        assert "ans(Vx, Vy) :- p0(Vx, Vy), p1(Vy, Vz)." in text
+
+    def test_recursion_rules(self):
+        text = translate(RECURSIVE, "datalog")
+        assert "p0(X, X) :- node(X)." in text
+        assert "p0(X, Y) :- p0(X, Z), p0_base(Z, Y)." in text
+
+    def test_union_rules_share_answer_head(self):
+        text = translate(UNION_Q, "datalog")
+        assert text.count("ans(Vx)") == 2
+
+    def test_boolean_answer_is_propositional(self):
+        text = translate(BOOLEAN, "datalog")
+        assert "\nans :- " in text
+
+
+class TestXmlWorkloadFormat:
+    def test_query_round_trip(self):
+        for query in (SIMPLE, RECURSIVE, UNION_Q, BOOLEAN):
+            assert query_from_xml(query_to_xml(query)) == query
+
+    def test_workload_round_trip(self, bib):
+        from repro.queries.generator import generate_workload
+        from repro.queries.workload import WorkloadConfiguration
+        from repro.schema.config import GraphConfiguration
+
+        workload = generate_workload(
+            WorkloadConfiguration(
+                GraphConfiguration(500, bib), size=6, recursion_probability=0.5
+            ),
+            seed=0,
+        )
+        restored = workload_from_xml(workload_to_xml(workload))
+        assert [g.query for g in restored] == [g.query for g in workload]
+        assert [g.selectivity for g in restored] == [g.selectivity for g in workload]
+        assert [g.estimated_alpha for g in restored] == [
+            g.estimated_alpha for g in workload
+        ]
+
+    @given(seed=st.integers(0, 300))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_generated_queries_translate_everywhere(self, bib, seed):
+        """Property: whatever the generator emits, every dialect accepts."""
+        from repro.queries.generator import generate_workload
+        from repro.queries.size import QuerySize
+        from repro.queries.workload import WorkloadConfiguration
+        from repro.schema.config import GraphConfiguration
+
+        workload = generate_workload(
+            WorkloadConfiguration(
+                GraphConfiguration(500, bib),
+                size=3,
+                recursion_probability=0.4,
+                query_size=QuerySize(conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 3)),
+            ),
+            seed=seed,
+        )
+        for generated in workload:
+            for dialect in TRANSLATORS:
+                assert translate(generated.query, dialect).strip()
