@@ -1,0 +1,325 @@
+"""Shared columnar pair-set primitives (the CSR storage substrate).
+
+Both the graph's per-label edge stores (:mod:`repro.generation.graph`)
+and the engines' binary relations (:mod:`repro.engine.relations`) hold
+*sets of integer pairs*.  This module fixes one canonical physical
+representation for such a set — a sorted ``int64`` array of packed
+``(first << 32) | second`` keys — and the handful of vector kernels
+everything else is built from:
+
+* packing/unpacking between pair columns and keys;
+* sorted-set algebra (union, difference, merge) via ``np.unique`` /
+  ``np.union1d`` / ``np.searchsorted``;
+* CSR-style slicing: because keys sort lexicographically by the first
+  column, the unpacked ``first`` column is itself sorted, so the pairs
+  of one source are a contiguous slice found by binary search — no
+  explicit ``indptr`` is required for point lookups, and a full
+  ``indptr`` (for degree vectors) is one ``bincount`` + ``cumsum``.
+
+Node ids must fit in 31 bits (``0 <= id < 2**31``); graphs of up to two
+billion nodes, far beyond what a single in-memory instance can hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bit width of one packed coordinate.
+KEY_BITS = 32
+#: Exclusive upper bound on a packable id.
+MAX_ID = 1 << 31
+
+#: The canonical empty column (shared, frozen).
+EMPTY_I64 = np.empty(0, dtype=np.int64)
+EMPTY_I64.setflags(write=False)
+
+
+def as_id_array(values) -> np.ndarray:
+    """Coerce to an int64 id column (no copy when already one)."""
+    return np.ascontiguousarray(values, dtype=np.int64)
+
+
+def _check_range(arr: np.ndarray) -> None:
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= MAX_ID):
+        raise ValueError(
+            f"ids must be in [0, {MAX_ID}) to pack into 64-bit keys; "
+            f"got range [{int(arr.min())}, {int(arr.max())}]"
+        )
+
+
+def pack_key(first: int, second: int) -> int:
+    """Pack one pair into its 64-bit key."""
+    if not (0 <= first < MAX_ID and 0 <= second < MAX_ID):
+        raise ValueError(f"ids must be in [0, {MAX_ID}); got ({first}, {second})")
+    return (first << KEY_BITS) | second
+
+
+def pack_pairs(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Pack parallel id columns into a key column (not deduplicated)."""
+    first = as_id_array(first)
+    second = as_id_array(second)
+    _check_range(first)
+    _check_range(second)
+    return (first << KEY_BITS) | second
+
+
+def unpack_keys(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack a key column into ``(first, second)`` id columns."""
+    return keys >> KEY_BITS, keys & ((1 << KEY_BITS) - 1)
+
+
+def sorted_unique_keys(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Pack + sort + deduplicate pair columns in one step."""
+    return np.unique(pack_pairs(first, second))
+
+
+def frozen(arr: np.ndarray) -> np.ndarray:
+    """Mark an array read-only (views handed to callers stay safe)."""
+    arr.setflags(write=False)
+    return arr
+
+
+def keys_from_pair_set(pairs: set[int]) -> np.ndarray:
+    """Sorted key column from a set of packed keys (the pending buffer)."""
+    if not pairs:
+        return EMPTY_I64
+    arr = np.fromiter(pairs, dtype=np.int64, count=len(pairs))
+    arr.sort()
+    return arr
+
+
+def dedup_sorted(keys: np.ndarray) -> np.ndarray:
+    """Drop adjacent duplicates from a sorted column."""
+    if keys.size == 0:
+        return keys
+    return keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+
+
+def merge_keys(
+    existing: np.ndarray, extra: np.ndarray, extra_canonical: bool = False
+) -> np.ndarray:
+    """Sorted-set union of two key columns.
+
+    ``extra_canonical`` declares that ``extra`` is already sorted and
+    unique (a key column), skipping its normalisation pass.  Either
+    way, the concatenation of the two sorted runs is stable-sorted —
+    timsort's galloping merge makes this near-linear in the output,
+    ~4× faster than ``np.union1d``'s full re-sort for a large existing
+    column.
+    """
+    if not extra_canonical:
+        extra = np.unique(extra)
+    if existing.size == 0:
+        return extra
+    if extra.size == 0:
+        return existing
+    combined = np.concatenate((existing, extra))
+    combined.sort(kind="stable")
+    return dedup_sorted(combined)
+
+
+def keys_contain(keys: np.ndarray, probe: int) -> bool:
+    """Membership of one packed key in a sorted key column."""
+    index = int(np.searchsorted(keys, probe))
+    return index < keys.size and int(keys[index]) == probe
+
+
+def keys_contain_many(keys: np.ndarray, probes: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of a probe column in a sorted key column."""
+    if keys.size == 0:
+        return np.zeros(probes.shape, dtype=bool)
+    positions = np.minimum(np.searchsorted(keys, probes), keys.size - 1)
+    return keys[positions] == probes
+
+
+def keys_difference(candidates: np.ndarray, existing: np.ndarray) -> np.ndarray:
+    """Sorted candidates not present in the sorted existing column."""
+    if candidates.size == 0 or existing.size == 0:
+        return candidates
+    positions = np.searchsorted(existing, candidates)
+    positions = np.minimum(positions, existing.size - 1)
+    return candidates[existing[positions] != candidates]
+
+
+def slice_bounds(sorted_column: np.ndarray, value: int) -> tuple[int, int]:
+    """Half-open bounds of ``value``'s run in a sorted column."""
+    lo = int(np.searchsorted(sorted_column, value, side="left"))
+    hi = int(np.searchsorted(sorted_column, value, side="right"))
+    return lo, hi
+
+
+def indptr_for(sorted_column: np.ndarray, domain_size: int) -> np.ndarray:
+    """CSR row-pointer array over a sorted id column."""
+    counts = np.bincount(sorted_column, minlength=domain_size)
+    indptr = np.zeros(domain_size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def expand_join(
+    probe: np.ndarray,
+    build_sorted: np.ndarray,
+    check_rows=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized lookup-join of a probe column against a sorted column.
+
+    Returns ``(counts, probe_index, build_index)`` where row ``i`` of the
+    join output pairs ``probe[probe_index[i]]`` with
+    ``build_sorted[build_index[i]]``; ``counts[j]`` is the number of
+    matches of ``probe[j]``.  This is the sort-merge expansion every
+    composition / join hot path shares.
+
+    ``check_rows`` (typically ``EvaluationBudget.check_rows``) is called
+    with the raw output size *before* the index arrays are materialised,
+    so a budget can stop a runaway join while it is still two
+    searchsorted results rather than an allocation.
+    """
+    lo = np.searchsorted(build_sorted, probe, side="left")
+    hi = np.searchsorted(build_sorted, probe, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if check_rows is not None:
+        check_rows(total)
+    if total == 0:
+        return counts, EMPTY_I64, EMPTY_I64
+    probe_index = np.repeat(np.arange(probe.size), counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    build_index = np.repeat(lo, counts) + offsets
+    return counts, probe_index, build_index
+
+
+class PairStore:
+    """Staged-merge sorted-key pair set: the shared physical core.
+
+    One canonical representation backs both the graph's per-label edge
+    stores and the engines' binary relations: a finalised sorted unique
+    key column plus a pending buffer of single-pair inserts, merged on
+    the next bulk operation or indexed read.  ``domain_size`` (when
+    given) enables CSR row-pointer construction over a dense id domain.
+    """
+
+    __slots__ = (
+        "domain_size",
+        "_keys",
+        "_pending",
+        "_first",
+        "_second",
+        "_bwd",
+        "_fwd_indptr",
+        "_bwd_indptr",
+    )
+
+    def __init__(self, domain_size: int | None = None):
+        self.domain_size = domain_size
+        self._pending: set[int] = set()
+        self._set_keys(EMPTY_I64)
+
+    @classmethod
+    def from_keys(cls, keys: np.ndarray, domain_size: int | None = None):
+        """Adopt a sorted unique key column (zero-copy)."""
+        store = cls(domain_size)
+        store._set_keys(keys)
+        return store
+
+    def _set_keys(self, keys: np.ndarray) -> None:
+        self._keys = frozen(keys)
+        first, second = unpack_keys(keys)
+        self._first = frozen(first)
+        self._second = frozen(second)
+        self._bwd: tuple[np.ndarray, np.ndarray] | None = None
+        self._fwd_indptr: np.ndarray | None = None
+        self._bwd_indptr: np.ndarray | None = None
+
+    def flush(self) -> None:
+        if self._pending:
+            self._set_keys(
+                merge_keys(
+                    self._keys,
+                    keys_from_pair_set(self._pending),
+                    extra_canonical=True,
+                )
+            )
+            self._pending.clear()
+
+    # -- mutation -----------------------------------------------------
+
+    def contains(self, first: int, second: int) -> bool:
+        """Membership; ids outside the packable range are simply absent."""
+        if not (0 <= first < MAX_ID and 0 <= second < MAX_ID):
+            return False
+        key = (first << KEY_BITS) | second
+        return key in self._pending or keys_contain(self._keys, key)
+
+    def add_pair(self, first: int, second: int) -> bool:
+        """Stage one pair; returns False if already present."""
+        if self.contains(first, second):
+            return False
+        self._pending.add(pack_key(first, second))
+        return True
+
+    def add_batch(self, first, second) -> int:
+        """Pack + merge parallel columns; returns the number of new
+        pairs.  The merge exploits the existing column's sort order
+        (see :func:`merge_keys`), so repeated batches on one store stay
+        near-linear."""
+        self.flush()
+        before = self._keys.size
+        self._set_keys(merge_keys(self._keys, pack_pairs(first, second)))
+        return self._keys.size - before
+
+    # -- columns and indexes ------------------------------------------
+
+    def __len__(self) -> int:
+        return self._keys.size + len(self._pending)
+
+    @property
+    def keys(self) -> np.ndarray:
+        self.flush()
+        return self._keys
+
+    @property
+    def first(self) -> np.ndarray:
+        """First column, sorted (read-only)."""
+        self.flush()
+        return self._first
+
+    @property
+    def second(self) -> np.ndarray:
+        """Second column, in first-sorted order (read-only)."""
+        self.flush()
+        return self._second
+
+    def backward(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted second column, first column in that order)."""
+        self.flush()
+        if self._bwd is None:
+            order = np.argsort(self._second, kind="stable")
+            self._bwd = (
+                frozen(self._second[order]),
+                frozen(self._first[order]),
+            )
+        return self._bwd
+
+    def slice_of(self, first_value: int) -> np.ndarray:
+        """Seconds paired with one first value: read-only CSR slice."""
+        self.flush()
+        lo, hi = slice_bounds(self._first, first_value)
+        return self._second[lo:hi]
+
+    def backward_slice_of(self, second_value: int) -> np.ndarray:
+        """Firsts paired with one second value (inverse index slice)."""
+        seconds, firsts = self.backward()
+        lo, hi = slice_bounds(seconds, second_value)
+        return firsts[lo:hi]
+
+    def forward_indptr(self) -> np.ndarray:
+        self.flush()
+        if self._fwd_indptr is None:
+            self._fwd_indptr = frozen(indptr_for(self._first, self.domain_size))
+        return self._fwd_indptr
+
+    def backward_indptr(self) -> np.ndarray:
+        seconds, _ = self.backward()
+        if self._bwd_indptr is None:
+            self._bwd_indptr = frozen(indptr_for(seconds, self.domain_size))
+        return self._bwd_indptr

@@ -80,7 +80,10 @@ class SparqlLikeEngine(Engine):
         while queue:
             node, state = queue.popleft()
             for symbol, next_state in nfa.transitions.get(state, []):
-                for next_node in graph.neighbours(node, symbol):
+                # CSR slice, not a per-call set: the product BFS visits
+                # every (node, state) pair once, so adjacency access
+                # dominates this engine's runtime.
+                for next_node in graph.neighbours_array(node, symbol).tolist():
                     pair = (next_node, next_state)
                     if pair in visited:
                         continue

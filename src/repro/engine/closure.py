@@ -37,12 +37,12 @@ class ClosureRelation:
     ):
         budget = budget or unlimited()
         self.node_count = node_count
-        pairs = list(base)
-        if pairs:
-            arr = np.asarray(pairs, dtype=np.int64)
-            data = np.ones(len(arr), dtype=np.int8)
+        sources = base.source_array
+        targets = base.target_array
+        if sources.size:
+            data = np.ones(sources.size, dtype=np.int8)
             adjacency = csr_matrix(
-                (data, (arr[:, 0], arr[:, 1])), shape=(node_count, node_count)
+                (data, (sources, targets)), shape=(node_count, node_count)
             )
             _, labels = connected_components(
                 adjacency, directed=True, connection="strong"
@@ -64,12 +64,22 @@ class ClosureRelation:
             order[boundaries[c] : boundaries[c + 1]] for c in range(component_count)
         ]
 
-        # Condensation DAG edges.
+        # Condensation DAG edges: map endpoints to components and
+        # deduplicate cross-component pairs in one vectorized pass.
         dag_successors: dict[int, set[int]] = {}
-        for source, target in pairs:
-            cs, ct = int(self._labels[source]), int(self._labels[target])
-            if cs != ct:
-                dag_successors.setdefault(cs, set()).add(ct)
+        if sources.size:
+            source_components = self._labels[sources]
+            target_components = self._labels[targets]
+            cross = source_components != target_components
+            if cross.any():
+                dag_pairs = np.unique(
+                    np.column_stack(
+                        (source_components[cross], target_components[cross])
+                    ),
+                    axis=0,
+                )
+                for cs, ct in dag_pairs.tolist():
+                    dag_successors.setdefault(cs, set()).add(ct)
         budget.check_time()
 
         # Component-level reachability (includes self), computed in
@@ -78,7 +88,7 @@ class ClosureRelation:
         self._compute_reachability(dag_successors, component_count, budget)
 
         self._size: int | None = None
-        self._targets_cache: dict[int, set[int]] = {}
+        self._targets_cache: dict[int, np.ndarray] = {}
         self._inverse: ClosureRelation | None = None
         self._dag_successors = dag_successors
 
@@ -140,20 +150,25 @@ class ClosureRelation:
         return int(self._labels[target]) in self._reach[int(self._labels[source])]
 
     def targets_of(self, source: int) -> set[int]:
+        """Reachable nodes from ``source`` — always a fresh, safe set."""
+        return set(self.targets_of_array(source).tolist())
+
+    def targets_of_array(self, source: int) -> np.ndarray:
+        """Reachable nodes as a read-only array (cached per component)."""
         if not 0 <= source < self.node_count:
-            return set()
+            return np.empty(0, dtype=np.int64)
         component = int(self._labels[source])
         cached = self._targets_cache.get(component)
         if cached is None:
-            cached = set()
-            for reachable in self._reach[component]:
-                cached.update(self._members[reachable].tolist())
+            members = [self._members[c] for c in self._reach[component]]
+            cached = np.concatenate(members) if members else np.empty(0, np.int64)
+            cached.setflags(write=False)
             self._targets_cache[component] = cached
         return cached
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
         for source in range(self.node_count):
-            for target in self.targets_of(source):
+            for target in self.targets_of_array(source).tolist():
                 yield source, target
 
     def pairs(self) -> set[tuple[int, int]]:

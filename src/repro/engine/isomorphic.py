@@ -239,25 +239,27 @@ def _edge_candidates(step: _EdgeStep, assignment: dict[str, int], graph: Labeled
     if inverse:
         # (source)<-[:label]-(target): a physical edge target -> source.
         if src_val is not None:
-            for trg in graph.predecessors(src_val, label):
+            for trg in graph.predecessors_array(src_val, label).tolist():
                 if trg_val is None or trg == trg_val:
                     yield src_val, trg, (trg, label, src_val)
         elif trg_val is not None:
-            for src in graph.successors(trg_val, label):
+            for src in graph.successors_array(trg_val, label).tolist():
                 yield src, trg_val, (trg_val, label, src)
         else:
-            for src, trg in graph.edges_with_label(label):
+            sources, targets = graph.edge_arrays(label)
+            for src, trg in zip(sources.tolist(), targets.tolist()):
                 yield trg, src, (src, label, trg)
     else:
         if src_val is not None:
-            for trg in graph.successors(src_val, label):
+            for trg in graph.successors_array(src_val, label).tolist():
                 if trg_val is None or trg == trg_val:
                     yield src_val, trg, (src_val, label, trg)
         elif trg_val is not None:
-            for src in graph.predecessors(trg_val, label):
+            for src in graph.predecessors_array(trg_val, label).tolist():
                 yield src, trg_val, (src, label, trg)
         else:
-            for src, trg in graph.edges_with_label(label):
+            sources, targets = graph.edge_arrays(label)
+            for src, trg in zip(sources.tolist(), targets.tolist()):
                 yield src, trg, (src, label, trg)
 
 
@@ -295,7 +297,7 @@ def _forward_reachable(
         next_frontier: list[int] = []
         for node in frontier:
             for label in labels:
-                for successor in graph.successors(node, label):
+                for successor in graph.successors_array(node, label).tolist():
                     if successor not in reachable:
                         reachable.add(successor)
                         next_frontier.append(successor)
@@ -313,7 +315,7 @@ def _backward_reachable(
         next_frontier: list[int] = []
         for node in frontier:
             for label in labels:
-                for predecessor in graph.predecessors(node, label):
+                for predecessor in graph.predecessors_array(node, label).tolist():
                     if predecessor not in reachable:
                         reachable.add(predecessor)
                         next_frontier.append(predecessor)

@@ -1,14 +1,31 @@
 """Conjunct joining: turn per-conjunct relations into rule answers.
 
 Every homomorphic engine evaluates a rule the same way once the
-conjunct relations are known: hash-join them on shared variables and
-project onto the head.  The join *order* matters; the default is a
-greedy smallest-relation-first, most-connected-next order, and the
-naive left-deep order is kept for the join-planning ablation bench.
+conjunct relations are known: join them on shared variables and project
+onto the head.  The join *order* matters; the default is a greedy
+smallest-relation-first, most-connected-next order, and the naive
+left-deep order is kept for the join-planning ablation bench.
+
+The binding table lives as a unique-row ``int64`` matrix (one column
+per bound variable) for the whole join and is extended one conjunct at
+a time.  When the conjunct's relation is array-backed
+(:class:`BinaryRelation`), each extension is a vectorized sort-merge
+probe of the relation's CSR columns (``np.searchsorted`` +
+``np.repeat`` expansion) over the whole table at once; relations that
+only expose the set API (the SCC-compressed
+:class:`~repro.engine.closure.ClosureRelation`, which deliberately
+avoids materialising its pair set) fall back to per-row loops over
+``targets_of_array``.  Rows stay unique by construction — every
+extension either filters rows or appends distinct values per row — so
+no intermediate deduplication is needed; Python tuples are only built
+for the final head projection.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.columnar import expand_join, keys_contain_many, pack_pairs
 from repro.engine.budget import EvaluationBudget, unlimited
 from repro.engine.relations import BinaryRelation
 from repro.queries.ast import QueryRule
@@ -48,6 +65,101 @@ def naive_join_order(rule: QueryRule, relations: list[BinaryRelation]) -> list[i
     return list(range(len(rule.body)))
 
 
+def _extend_vectorized(
+    table: np.ndarray,
+    relation: BinaryRelation,
+    src_pos: int | None,
+    trg_pos: int | None,
+    self_loop: bool,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """One conjunct extension over the whole binding table at once."""
+    if src_pos is None and trg_pos is None:
+        if self_loop:
+            loop_mask = relation.source_array == relation.target_array
+            loops = relation.source_array[loop_mask]
+            budget.check_rows(table.shape[0] * loops.size)
+            repeated = np.repeat(table, loops.size, axis=0)
+            column = np.tile(loops, table.shape[0])
+            return np.column_stack((repeated, column))
+        pair_count = len(relation)
+        budget.check_rows(table.shape[0] * pair_count)
+        repeated = np.repeat(table, pair_count, axis=0)
+        src_col = np.tile(relation.source_array, table.shape[0])
+        trg_col = np.tile(relation.target_array, table.shape[0])
+        return np.column_stack((repeated, src_col, trg_col))
+
+    if src_pos is not None and (trg_pos is not None or self_loop):
+        effective_trg = src_pos if self_loop else trg_pos
+        probe_keys = pack_pairs(table[:, src_pos], table[:, effective_trg])
+        mask = keys_contain_many(relation.key_array, probe_keys)
+        return table[mask]
+
+    if src_pos is not None:
+        probe = table[:, src_pos]
+        build_sorted = relation.source_array
+        gather = relation.target_array
+    else:
+        probe = table[:, trg_pos]
+        build_sorted, gather = relation.backward_arrays()
+    _, probe_index, build_index = expand_join(
+        probe, build_sorted, budget.check_rows
+    )
+    if probe_index.size == 0:
+        return np.zeros((0, table.shape[1] + 1), dtype=np.int64)
+    return np.column_stack((table[probe_index], gather[build_index]))
+
+
+def _extend_generic(
+    table: np.ndarray,
+    relation,
+    src_pos: int | None,
+    trg_pos: int | None,
+    self_loop: bool,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """Per-row fallback for set-API relations (e.g. ClosureRelation)."""
+    rows = table.tolist()
+    new_rows: list[list[int]] = []
+    if src_pos is None and trg_pos is None:
+        if self_loop:
+            added = 1
+            loops = [s for s, t in relation if s == t]
+            for row in rows:
+                for node in loops:
+                    new_rows.append(row + [node])
+        else:
+            added = 2
+            for row in rows:
+                for position, (s, t) in enumerate(relation):
+                    new_rows.append(row + [s, t])
+                    if position % 65536 == 65535:
+                        budget.check_rows(len(new_rows))
+                        budget.check_time()
+                budget.check_rows(len(new_rows))
+    elif src_pos is not None and (trg_pos is not None or self_loop):
+        added = 0
+        effective_trg = src_pos if self_loop else trg_pos
+        for row in rows:
+            if (row[src_pos], row[effective_trg]) in relation:
+                new_rows.append(row)
+    elif src_pos is not None:
+        added = 1
+        for row in rows:
+            for t in relation.targets_of_array(row[src_pos]).tolist():
+                new_rows.append(row + [t])
+            budget.check_rows(len(new_rows))
+    else:
+        added = 1
+        inverse = relation.inverse()
+        for row in rows:
+            for s in inverse.targets_of_array(row[trg_pos]).tolist():
+                new_rows.append(row + [s])
+            budget.check_rows(len(new_rows))
+    width = table.shape[1] + added
+    return np.asarray(new_rows, dtype=np.int64).reshape(len(new_rows), width)
+
+
 def join_rule(
     rule: QueryRule,
     relations: list[BinaryRelation],
@@ -64,9 +176,11 @@ def join_rule(
     if order is None:
         order = greedy_join_order(rule, relations)
 
-    # Bindings: a schema (ordered variable tuple) plus a set of rows.
+    # Bindings: a schema (ordered variable tuple) plus a unique-row
+    # matrix with one column per schema variable (one empty row = the
+    # unit binding).
     schema: list[str] = []
-    rows: set[tuple[int, ...]] = {()}
+    table = np.zeros((1, 0), dtype=np.int64)
 
     for index in order:
         conjunct = rule.body[index]
@@ -74,52 +188,30 @@ def join_rule(
         source, target = conjunct.source, conjunct.target
         src_pos = schema.index(source) if source in schema else None
         trg_pos = schema.index(target) if target in schema else None
+        self_loop = target == source
 
         new_schema = list(schema)
         if src_pos is None:
             new_schema.append(source)
-        if trg_pos is None and target != source:
+        if trg_pos is None and not self_loop:
             if target not in new_schema:
                 new_schema.append(target)
 
-        new_rows: set[tuple[int, ...]] = set()
-        if src_pos is None and trg_pos is None:
-            # Cartesian extension (only when nothing is bound yet).
-            if source == target:
-                loops = [s for s, t in relation if s == t]
-                for row in rows:
-                    for node in loops:
-                        new_rows.add(row + (node,))
-            else:
-                for row in rows:
-                    for position, (s, t) in enumerate(relation):
-                        new_rows.add(row + (s, t))
-                        if position % 65536 == 65535:
-                            budget.check_rows(len(new_rows))
-                            budget.check_time()
-                    budget.check_rows(len(new_rows))
-        elif src_pos is not None and (trg_pos is not None or target == source):
-            # Both endpoints bound: a filter.
-            effective_trg = src_pos if target == source else trg_pos
-            for row in rows:
-                if (row[src_pos], row[effective_trg]) in relation:
-                    new_rows.add(row)
-        elif src_pos is not None:
-            for row in rows:
-                for t in relation.targets_of(row[src_pos]):
-                    new_rows.add(row + (t,))
-                budget.check_rows(len(new_rows))
+        if isinstance(relation, BinaryRelation):
+            table = _extend_vectorized(
+                table, relation, src_pos, trg_pos, self_loop, budget
+            )
         else:
-            inverse = relation.inverse()
-            for row in rows:
-                for s in inverse.targets_of(row[trg_pos]):
-                    new_rows.add(row + (s,))
-                budget.check_rows(len(new_rows))
-        rows = new_rows
+            table = _extend_generic(
+                table, relation, src_pos, trg_pos, self_loop, budget
+            )
         schema = new_schema
+        budget.check_rows(table.shape[0])
         budget.check_time()
-        if not rows:
+        if table.shape[0] == 0:
             return set()
 
     positions = [schema.index(var) for var in rule.head]
-    return {tuple(row[p] for p in positions) for row in rows}
+    if not positions:
+        return {()}
+    return set(map(tuple, table[:, positions].tolist()))

@@ -1,89 +1,175 @@
 """Binary relations and their algebra (the Datalog engine's workhorse).
 
 A :class:`BinaryRelation` is a set of (source, target) integer pairs
-indexed in both directions.  It supports the operations the UCRPQ
-fragment needs — union, composition, inverse, reflexive-transitive
-closure via *semi-naive* delta iteration — with budget hooks so runaway
-closures surface as :class:`~repro.errors.EngineBudgetExceeded`.
+stored **columnar**: one :class:`~repro.columnar.PairStore` (a sorted,
+deduplicated ``int64`` key column with a pending buffer for staged
+single-pair inserts), exactly the physical layout of the graph's
+per-label CSR stores — :meth:`BinaryRelation.from_graph_symbol` adopts
+a label's key column zero-copy.  The UCRPQ operations — union,
+composition, inverse, reflexive-transitive closure via *semi-naive*
+delta iteration — are vectorized sorted-set algebra (``np.union1d``
+unions, sort-merge ``np.searchsorted`` joins), with budget hooks so
+runaway closures surface as
+:class:`~repro.errors.EngineBudgetExceeded`; join sizes are charged
+against the budget *before* the output arrays are materialised.
+
+Set-oriented reference semantics (the seed's dict-of-sets behaviour)
+are pinned by the parity tests in ``tests/test_csr_parity.py``:
+``targets_of`` returns a fresh set on hit and miss alike — the seed
+leaked its internal mutable set on the hit path, so mutating a result
+could corrupt the relation; both paths are safe now, with
+:meth:`targets_of_array` as the read-only zero-copy variant.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Iterable, Iterator
 
+import numpy as np
+
+from repro.columnar import (
+    EMPTY_I64,
+    PairStore,
+    as_id_array,
+    expand_join,
+    keys_difference,
+    merge_keys,
+    pack_pairs,
+    sorted_unique_keys,
+    unpack_keys,
+)
 from repro.engine.budget import EvaluationBudget, unlimited
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import is_inverse, symbol_base
 
 
 class BinaryRelation:
-    """A mutable set of integer pairs with forward/backward indexes."""
+    """A mutable set of integer pairs with columnar two-way indexes."""
+
+    __slots__ = ("_store",)
 
     def __init__(self, pairs: Iterable[tuple[int, int]] = ()):
-        self._forward: dict[int, set[int]] = defaultdict(set)
-        self._size = 0
-        for source, target in pairs:
-            self.add(source, target)
+        if isinstance(pairs, BinaryRelation):
+            self._store = PairStore.from_keys(pairs.key_array)
+            return
+        self._store = PairStore()
+        pair_list = list(pairs)
+        if pair_list:
+            arr = np.asarray(pair_list, dtype=np.int64)
+            self._store = PairStore.from_keys(
+                sorted_unique_keys(arr[:, 0], arr[:, 1])
+            )
 
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def from_graph_symbol(cls, graph: LabeledGraph, symbol: str) -> "BinaryRelation":
-        """Relation of one symbol in ``Sigma±`` (inverse swaps columns)."""
-        label = symbol_base(symbol)
-        relation = cls()
-        if is_inverse(symbol):
-            for source, target in graph.edges_with_label(label):
-                relation.add(target, source)
-        else:
-            for source, target in graph.edges_with_label(label):
-                relation.add(source, target)
+    def _from_keys(cls, keys: np.ndarray) -> "BinaryRelation":
+        relation = cls.__new__(cls)
+        relation._store = PairStore.from_keys(keys)
         return relation
+
+    @classmethod
+    def from_arrays(cls, sources, targets) -> "BinaryRelation":
+        """Build from parallel endpoint columns (deduplicates)."""
+        sources = as_id_array(sources)
+        if sources.size == 0:
+            return cls()
+        return cls._from_keys(sorted_unique_keys(sources, targets))
+
+    @classmethod
+    def from_graph_symbol(cls, graph: LabeledGraph, symbol: str) -> "BinaryRelation":
+        """Relation of one symbol in ``Sigma±`` (inverse swaps columns).
+
+        Uses the graph's columnar ``edge_arrays`` fast path: the forward
+        direction adopts the label's already-sorted key column without
+        re-sorting; the inverse repacks with the columns swapped.
+        """
+        label = symbol_base(symbol)
+        sources, targets = graph.edge_arrays(label)
+        if sources.size == 0:
+            return cls()
+        if is_inverse(symbol):
+            return cls._from_keys(sorted_unique_keys(targets, sources))
+        edge_keys = getattr(graph, "edge_keys", None)
+        if edge_keys is not None:
+            return cls._from_keys(edge_keys(label))
+        return cls._from_keys(sorted_unique_keys(sources, targets))
 
     @classmethod
     def identity(cls, nodes: Iterable[int]) -> "BinaryRelation":
         """The ε relation: every node related to itself."""
-        relation = cls()
-        for node in nodes:
-            relation.add(node, node)
-        return relation
+        if isinstance(nodes, range):
+            ids = np.arange(nodes.start, nodes.stop, nodes.step, dtype=np.int64)
+            ids = np.sort(ids)
+        else:
+            ids = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if ids.size == 0:
+            return cls()
+        return cls._from_keys(pack_pairs(ids, ids))
 
     def add(self, source: int, target: int) -> bool:
-        targets = self._forward[source]
-        if target in targets:
-            return False
-        targets.add(target)
-        self._size += 1
-        return True
+        return self._store.add_pair(source, target)
+
+    # -- columnar views ---------------------------------------------------
+
+    @property
+    def source_array(self) -> np.ndarray:
+        """Source column, sorted (read-only)."""
+        return self._store.first
+
+    @property
+    def target_array(self) -> np.ndarray:
+        """Target column, in source-sorted order (read-only)."""
+        return self._store.second
+
+    @property
+    def key_array(self) -> np.ndarray:
+        """Packed sorted (source, target) keys (read-only)."""
+        return self._store.keys
+
+    def backward_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted targets, sources in that order): the inverse index.
+
+        Read-only columns for join probes against the target side.
+        """
+        return self._store.backward()
 
     # -- inspection -------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._store)
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return len(self._store) > 0
 
     def __contains__(self, pair: tuple[int, int]) -> bool:
-        source, target = pair
-        return target in self._forward.get(source, ())
+        return self._store.contains(pair[0], pair[1])
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
-        for source, targets in self._forward.items():
-            for target in targets:
-                yield source, target
+        yield from zip(
+            self._store.first.tolist(), self._store.second.tolist()
+        )
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, BinaryRelation):
             return NotImplemented
-        return set(self) == set(other)
+        return np.array_equal(self.key_array, other.key_array)
 
     def targets_of(self, source: int) -> set[int]:
-        return self._forward.get(source, set())
+        """Targets related to ``source`` — always a fresh, safe set."""
+        return set(self.targets_of_array(source).tolist())
 
-    def sources(self) -> Iterable[int]:
-        return self._forward.keys()
+    def targets_of_array(self, source: int) -> np.ndarray:
+        """Targets of ``source`` as a read-only CSR slice (hot path)."""
+        return self._store.slice_of(source)
+
+    def sources_of_array(self, target: int) -> np.ndarray:
+        """Sources of ``target`` as a read-only slice of the inverse index."""
+        return self._store.backward_slice_of(target)
+
+    def sources(self) -> np.ndarray:
+        """Distinct sources (read-only sorted array)."""
+        return np.unique(self._store.first)
 
     def pairs(self) -> set[tuple[int, int]]:
         return set(self)
@@ -91,73 +177,94 @@ class BinaryRelation:
     # -- algebra ----------------------------------------------------------
 
     def union(self, other: "BinaryRelation") -> "BinaryRelation":
-        result = BinaryRelation(self)
-        for pair in other:
-            result.add(*pair)
-        return result
+        return BinaryRelation._from_keys(
+            merge_keys(self.key_array, other.key_array, extra_canonical=True)
+        )
 
     def inverse(self) -> "BinaryRelation":
-        return BinaryRelation((target, source) for source, target in self)
+        if self.key_array.size == 0:
+            return BinaryRelation()
+        return BinaryRelation._from_keys(
+            sorted_unique_keys(self.target_array, self.source_array)
+        )
 
     def compose(
         self, other: "BinaryRelation", budget: EvaluationBudget | None = None
     ) -> "BinaryRelation":
-        """``{(a, c) | (a, b) ∈ self, (b, c) ∈ other}`` (hash join)."""
+        """``{(a, c) | (a, b) ∈ self, (b, c) ∈ other}`` (sort-merge join).
+
+        The probe side is this relation's target column, the build side
+        the other's sorted source column; the raw join size is charged
+        against the budget *before* materialisation.
+        """
         budget = budget or unlimited()
-        result = BinaryRelation()
-        for source, middles in self._forward.items():
-            for middle in middles:
-                for target in other._forward.get(middle, ()):
-                    result.add(source, target)
-            budget.check_rows(len(result))
+        if len(self) == 0 or len(other) == 0:
+            return BinaryRelation()
+        _, probe_index, build_index = expand_join(
+            self.target_array, other.source_array, budget.check_rows
+        )
         budget.check_time()
-        return result
+        if probe_index.size == 0:
+            return BinaryRelation()
+        return BinaryRelation.from_arrays(
+            self.source_array[probe_index], other.target_array[build_index]
+        )
 
     def transitive_closure(
         self,
         nodes: Iterable[int] | None = None,
         budget: EvaluationBudget | None = None,
     ) -> "BinaryRelation":
-        """Reflexive-transitive closure via semi-naive iteration.
+        """Reflexive-transitive closure via semi-naive delta iteration.
 
         ``nodes`` supplies the identity base (Kleene star matches ε on
         *every* node); when omitted only nodes touched by the relation
         are included — callers evaluating full UCRPQ semantics pass the
-        graph's node range.
+        graph's node range.  Each round joins only the previous round's
+        *delta* against the base relation (vectorized sort-merge), so
+        work is proportional to newly discovered pairs.
         """
         budget = budget or unlimited()
+        base_keys = self.key_array
+        base_sources = self.source_array
+        base_targets = self.target_array
         if nodes is None:
-            touched: set[int] = set()
-            for source, target in self:
-                touched.add(source)
-                touched.add(target)
-            nodes = touched
+            touched = np.union1d(base_sources, base_targets)
+            identity = (
+                pack_pairs(touched, touched) if touched.size else EMPTY_I64
+            )
+        else:
+            identity = BinaryRelation.identity(nodes).key_array
 
-        closure = BinaryRelation.identity(nodes)
-        # delta = pairs discovered in the previous round (semi-naive:
-        # only they can produce new pairs this round).
-        delta: set[tuple[int, int]] = set()
-        for pair in self:
-            if closure.add(*pair):
-                delta.add(pair)
-        while delta:
+        closure_keys = merge_keys(identity, base_keys, extra_canonical=True)
+        delta_keys = keys_difference(base_keys, identity)
+        while delta_keys.size:
             budget.check_time()
-            budget.check_rows(len(closure))
-            new_delta: set[tuple[int, int]] = set()
-            for source, middle in delta:
-                for target in self._forward.get(middle, ()):
-                    if closure.add(source, target):
-                        new_delta.add((source, target))
-            delta = new_delta
-        return closure
+            budget.check_rows(closure_keys.size)
+            delta_sources, delta_middles = unpack_keys(delta_keys)
+            _, probe_index, build_index = expand_join(
+                delta_middles, base_sources, budget.check_rows
+            )
+            if probe_index.size == 0:
+                break
+            candidates = np.unique(
+                pack_pairs(
+                    delta_sources[probe_index], base_targets[build_index]
+                )
+            )
+            delta_keys = keys_difference(candidates, closure_keys)
+            closure_keys = merge_keys(
+                closure_keys, delta_keys, extra_canonical=True
+            )
+        return BinaryRelation._from_keys(closure_keys)
 
     def restrict_sources(self, allowed: set[int]) -> "BinaryRelation":
         """Sub-relation with sources in ``allowed`` (semi-join pushdown)."""
-        result = BinaryRelation()
-        for source in allowed:
-            for target in self._forward.get(source, ()):
-                result.add(source, target)
-        return result
+        if len(self) == 0 or not allowed:
+            return BinaryRelation()
+        allowed_arr = np.fromiter(allowed, dtype=np.int64, count=len(allowed))
+        mask = np.isin(self.source_array, allowed_arr)
+        return BinaryRelation._from_keys(self.key_array[mask])
 
     def __repr__(self) -> str:
-        return f"BinaryRelation({self._size} pairs)"
+        return f"BinaryRelation({len(self)} pairs)"

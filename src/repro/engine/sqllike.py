@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.columnar import expand_join
 from repro.engine.base import Engine
 from repro.engine.budget import EvaluationBudget
 from repro.engine.joins import join_rule
@@ -37,21 +38,15 @@ def _merge_join(left: np.ndarray, right: np.ndarray, budget: EvaluationBudget) -
         return np.zeros((0, 2), dtype=np.int64)
     order = np.argsort(right[:, 0], kind="stable")
     right_sorted = right[order]
-    keys = right_sorted[:, 0]
-    lo = np.searchsorted(keys, left[:, 1], side="left")
-    hi = np.searchsorted(keys, left[:, 1], side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    budget.check_rows(total)
-    if total == 0:
+    _, probe_index, build_index = expand_join(
+        left[:, 1], right_sorted[:, 0], budget.check_rows
+    )
+    if probe_index.size == 0:
         return np.zeros((0, 2), dtype=np.int64)
-    src = np.repeat(left[:, 0], counts)
-    # Gather matching right rows: offsets within each run.
-    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-    indices = np.repeat(lo, counts) + offsets
-    trg = right_sorted[indices, 1]
     budget.check_time()
-    return np.column_stack((src, trg))
+    return np.column_stack(
+        (left[probe_index, 0], right_sorted[build_index, 1])
+    )
 
 
 class PostgresLikeEngine(Engine):
@@ -87,12 +82,14 @@ class PostgresLikeEngine(Engine):
     ) -> np.ndarray:
         rows = cache.get(symbol)
         if rows is None:
+            # edge_arrays is the columnar store itself: already unique
+            # and sorted by (source, target).  Only the inverse needs a
+            # re-sort after swapping the columns.
             sources, targets = graph.edge_arrays(symbol_base(symbol))
             if is_inverse(symbol):
-                rows = np.column_stack((targets, sources))
+                rows = _dedup(np.column_stack((targets, sources)))
             else:
                 rows = np.column_stack((sources, targets))
-            rows = _dedup(rows)
             cache[symbol] = rows
         return rows
 
@@ -145,7 +142,6 @@ class PostgresLikeEngine(Engine):
 
 
 def _to_relation(rows: np.ndarray) -> BinaryRelation:
-    relation = BinaryRelation()
-    for source, target in rows.tolist():
-        relation.add(source, target)
-    return relation
+    if len(rows) == 0:
+        return BinaryRelation()
+    return BinaryRelation.from_arrays(rows[:, 0], rows[:, 1])

@@ -7,6 +7,7 @@ edge-list formats for external systems.
 """
 
 from repro.generation.graph import LabeledGraph, GraphStatistics
+from repro.generation.reference import ReferenceLabeledGraph
 from repro.generation.generator import (
     generate_graph,
     generate_edge_stream,
@@ -25,6 +26,7 @@ from repro.generation.writers import (
 __all__ = [
     "LabeledGraph",
     "GraphStatistics",
+    "ReferenceLabeledGraph",
     "generate_graph",
     "generate_edge_stream",
     "GraphGenerator",

@@ -48,8 +48,11 @@ class GraphGenerator:
         can measure its effect; results are distributionally equivalent.
     deduplicate:
         Fig. 5 can emit duplicate (source, label, target) triples when a
-        node index repeats at matching positions.  Queries evaluate under
-        set semantics, so duplicates are dropped by default.
+        node index repeats at matching positions; the columnar store
+        always collapses them (queries evaluate under set semantics).
+        True (default) bulk-appends each constraint's whole batch in one
+        packed ``np.unique`` merge; False keeps the per-edge insertion
+        path as the ablation baseline.
     """
 
     use_gaussian_fast_path: bool = True

@@ -1,19 +1,41 @@
-"""In-memory directed edge-labeled graph instances.
+"""In-memory directed edge-labeled graph instances (columnar CSR core).
 
 The generator produces a :class:`LabeledGraph`: node ids are dense
 integers partitioned into per-type ranges by the configuration, and
-edges are stored per label in both directions (forward and inverse
-adjacency), which is what every engine in :mod:`repro.engine` — and the
-selectivity validation experiments — iterate over.
+edges are stored per label in a **columnar store** — one sorted,
+deduplicated ``int64`` key column per label (see :mod:`repro.columnar`)
+from which forward and backward CSR indexes are materialised lazily.
+Engines and the selectivity validation consume whole columns
+(:meth:`LabeledGraph.edge_arrays`) or CSR slices
+(:meth:`LabeledGraph.successors_array`) instead of Python objects.
+
+Storage layers, in materialisation order:
+
+1. **edge stream** — the generator emits ``(label, sources, targets)``
+   array batches (Fig. 5 runs one constraint at a time);
+2. **columnar store** — each batch is packed, merged, and deduplicated
+   into the label's sorted key column (``np.unique`` set semantics:
+   gMark evaluation is set-oriented per §3.3, so parallel identical
+   edges would never be observable through queries);
+3. **CSR indexes** — built on first navigation access per direction:
+   the key column already *is* the forward CSR payload (keys sort by
+   source, then target), the backward index is one ``argsort``;
+4. **relations** — :class:`~repro.engine.relations.BinaryRelation`
+   wraps the same columns zero-copy via
+   :meth:`~repro.engine.relations.BinaryRelation.from_arrays`.
+
+The dict-of-sets implementation this replaced survives as
+:class:`repro.generation.reference.ReferenceLabeledGraph` and backs the
+parity property tests and the build benchmark's baseline.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.columnar import EMPTY_I64, PairStore, as_id_array
 from repro.schema.config import GraphConfiguration
 
 
@@ -35,108 +57,141 @@ class GraphStatistics:
 
 
 class LabeledGraph:
-    """A directed edge-labeled multigraph with typed integer nodes.
+    """A directed edge-labeled graph with typed integer nodes.
 
-    The structure keeps, per label, a forward index ``source -> targets``
-    and a backward index ``target -> sources``.  Duplicate (source,
-    label, target) triples are collapsed: gMark evaluation semantics are
-    set-oriented (§3.3), so parallel identical edges would never be
-    observable through queries.
+    The structure keeps one columnar :class:`~repro.columnar.PairStore`
+    per label (sources as the first column, targets as the second).
+    Duplicate (source, label, target) triples are collapsed.  All
+    navigation methods that return sets return **fresh** sets the caller
+    may mutate freely; the ``*_array`` variants return read-only views
+    into the CSR indexes (the zero-copy hot path).
     """
 
     def __init__(self, config: GraphConfiguration):
         self.config = config
         self.n = config.total_nodes
-        self._forward: dict[str, dict[int, set[int]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._backward: dict[str, dict[int, set[int]]] = defaultdict(
-            lambda: defaultdict(set)
-        )
-        self._edge_counts: dict[str, int] = defaultdict(int)
+        self._stores: dict[str, PairStore] = {}
+
+    def _store(self, label: str) -> PairStore:
+        store = self._stores.get(label)
+        if store is None:
+            store = self._stores[label] = PairStore(domain_size=self.n)
+        return store
 
     # -- construction ------------------------------------------------
 
     def add_edge(self, source: int, label: str, target: int) -> bool:
         """Insert one edge; returns False if it was already present."""
-        targets = self._forward[label][source]
-        if target in targets:
-            return False
-        targets.add(target)
-        self._backward[label][target].add(source)
-        self._edge_counts[label] += 1
-        return True
+        return self._store(label).add_pair(source, target)
 
     def add_edges(self, label: str, sources: np.ndarray, targets: np.ndarray) -> int:
-        """Bulk-insert parallel arrays of endpoints; returns #inserted."""
-        inserted = 0
-        for source, target in zip(sources.tolist(), targets.tolist()):
-            if self.add_edge(source, label, target):
-                inserted += 1
-        return inserted
+        """Bulk-insert parallel arrays of endpoints; returns #inserted.
+
+        This is the generator's path: one packed ``np.unique`` merge per
+        constraint batch instead of a Python loop over pairs.
+        """
+        sources = as_id_array(sources)
+        targets = as_id_array(targets)
+        if sources.size == 0:
+            return 0
+        return self._store(label).add_batch(sources, targets)
 
     # -- navigation ---------------------------------------------------
 
     def labels(self) -> list[str]:
         """Labels that occur on at least one edge."""
-        return [label for label, count in self._edge_counts.items() if count]
+        return [label for label, store in self._stores.items() if len(store)]
 
     def successors(self, node: int, label: str) -> set[int]:
-        """Targets of ``label``-edges leaving ``node`` (empty set if none)."""
-        by_source = self._forward.get(label)
-        if by_source is None:
-            return set()
-        return by_source.get(node, set())
+        """Targets of ``label``-edges leaving ``node``.
+
+        Returns a fresh set (both on hit and miss) — mutating it never
+        corrupts the graph.  Hot paths should prefer
+        :meth:`successors_array`.
+        """
+        return set(self.successors_array(node, label).tolist())
 
     def predecessors(self, node: int, label: str) -> set[int]:
-        """Sources of ``label``-edges entering ``node``."""
-        by_target = self._backward.get(label)
-        if by_target is None:
-            return set()
-        return by_target.get(node, set())
+        """Sources of ``label``-edges entering ``node`` (fresh set)."""
+        return set(self.predecessors_array(node, label).tolist())
+
+    def successors_array(self, node: int, label: str) -> np.ndarray:
+        """Targets of ``label``-edges leaving ``node``: read-only slice."""
+        store = self._stores.get(label)
+        if store is None:
+            return EMPTY_I64
+        return store.slice_of(node)
+
+    def predecessors_array(self, node: int, label: str) -> np.ndarray:
+        """Sources of ``label``-edges entering ``node``: read-only slice."""
+        store = self._stores.get(label)
+        if store is None:
+            return EMPTY_I64
+        return store.backward_slice_of(node)
 
     def neighbours(self, node: int, symbol: str) -> set[int]:
-        """Navigate one step along ``symbol`` in ``Sigma±``.
+        """Navigate one step along ``symbol`` in ``Sigma±`` (fresh set).
 
         A trailing ``-`` denotes the inverse predicate (paper §3.3), so
         ``neighbours(v, "a-")`` follows ``a``-edges backwards.
         """
+        return set(self.neighbours_array(node, symbol).tolist())
+
+    def neighbours_array(self, node: int, symbol: str) -> np.ndarray:
+        """One ``Sigma±`` step as a read-only CSR slice (engine hot path)."""
         if symbol.endswith("-"):
-            return self.predecessors(node, symbol[:-1])
-        return self.successors(node, symbol)
+            return self.predecessors_array(node, symbol[:-1])
+        return self.successors_array(node, symbol)
+
+    def has_edge(self, source: int, label: str, target: int) -> bool:
+        """Membership of one (source, label, target) triple."""
+        store = self._stores.get(label)
+        return store is not None and store.contains(source, target)
 
     def edges_with_label(self, label: str) -> list[tuple[int, int]]:
-        """All (source, target) pairs carrying ``label``."""
-        by_source = self._forward.get(label, {})
-        return [(s, t) for s, targets in by_source.items() for t in targets]
+        """All (source, target) pairs carrying ``label``, sorted."""
+        sources, targets = self.edge_arrays(label)
+        return list(zip(sources.tolist(), targets.tolist()))
 
     def edge_arrays(self, label: str) -> tuple[np.ndarray, np.ndarray]:
-        """(sources, targets) as parallel numpy arrays (engine fast path)."""
-        pairs = self.edges_with_label(label)
-        if not pairs:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-        arr = np.asarray(pairs, dtype=np.int64)
-        return arr[:, 0], arr[:, 1]
+        """(sources, targets) columns, sorted by (source, target).
+
+        Read-only zero-copy views of the columnar store — the engine
+        and relation fast path.
+        """
+        store = self._stores.get(label)
+        if store is None or not len(store):
+            return EMPTY_I64, EMPTY_I64
+        return store.first, store.second
+
+    def edge_keys(self, label: str) -> np.ndarray:
+        """Packed sorted (source, target) key column (see repro.columnar)."""
+        store = self._stores.get(label)
+        if store is None:
+            return EMPTY_I64
+        return store.keys
 
     def out_degree(self, node: int, label: str) -> int:
-        return len(self.successors(node, label))
+        return int(self.successors_array(node, label).size)
 
     def in_degree(self, node: int, label: str) -> int:
-        return len(self.predecessors(node, label))
+        return int(self.predecessors_array(node, label).size)
 
     def out_degrees(self, label: str) -> np.ndarray:
         """Out-degree of every node for ``label`` (distribution tests)."""
-        degrees = np.zeros(self.n, dtype=np.int64)
-        for source, targets in self._forward.get(label, {}).items():
-            degrees[source] = len(targets)
-        return degrees
+        store = self._stores.get(label)
+        if store is None:
+            return np.zeros(self.n, dtype=np.int64)
+        indptr = store.forward_indptr()
+        return np.diff(indptr)
 
     def in_degrees(self, label: str) -> np.ndarray:
         """In-degree of every node for ``label``."""
-        degrees = np.zeros(self.n, dtype=np.int64)
-        for target, sources in self._backward.get(label, {}).items():
-            degrees[target] = len(sources)
-        return degrees
+        store = self._stores.get(label)
+        if store is None:
+            return np.zeros(self.n, dtype=np.int64)
+        indptr = store.backward_indptr()
+        return np.diff(indptr)
 
     def type_of(self, node: int) -> str:
         """Node type of a node id (delegates to the configuration)."""
@@ -151,15 +206,20 @@ class LabeledGraph:
 
     @property
     def edge_count(self) -> int:
-        return sum(self._edge_counts.values())
+        return sum(len(store) for store in self._stores.values())
 
     def statistics(self) -> GraphStatistics:
         """Aggregate statistics used by reports and property tests."""
+        edges_per_label = {
+            label: len(store)
+            for label, store in self._stores.items()
+            if len(store)
+        }
         return GraphStatistics(
             nodes=self.n,
-            edges=self.edge_count,
-            labels=len(self.labels()),
-            edges_per_label=dict(self._edge_counts),
+            edges=sum(edges_per_label.values()),
+            labels=len(edges_per_label),
+            edges_per_label=edges_per_label,
             nodes_per_type={
                 name: r.count for name, r in self.config.ranges.items()
             },
@@ -167,10 +227,10 @@ class LabeledGraph:
 
     def triples(self):
         """Iterate all (source, label, target) triples (writer input)."""
-        for label, by_source in self._forward.items():
-            for source, targets in by_source.items():
-                for target in targets:
-                    yield source, label, target
+        for label in self.labels():
+            sources, targets = self.edge_arrays(label)
+            for source, target in zip(sources.tolist(), targets.tolist()):
+                yield source, label, target
 
     def to_networkx(self):
         """Export to a networkx MultiDiGraph (used by validation tests)."""

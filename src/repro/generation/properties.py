@@ -70,13 +70,20 @@ def _constraint_degrees(
     only the edges belonging to this constraint's type pair."""
     source_range = graph.config.ranges[constraint.source_type]
     target_range = graph.config.ranges[constraint.target_type]
-    out_degrees = np.zeros(source_range.count, dtype=np.int64)
-    in_degrees = np.zeros(target_range.count, dtype=np.int64)
-    for source, target in graph.edges_with_label(constraint.predicate):
-        if source in source_range and target in target_range:
-            out_degrees[source - source_range.start] += 1
-            in_degrees[target - target_range.start] += 1
-    return out_degrees, in_degrees
+    sources, targets = graph.edge_arrays(constraint.predicate)
+    mask = (
+        (sources >= source_range.start)
+        & (sources < source_range.stop)
+        & (targets >= target_range.start)
+        & (targets < target_range.stop)
+    )
+    out_degrees = np.bincount(
+        sources[mask] - source_range.start, minlength=source_range.count
+    )
+    in_degrees = np.bincount(
+        targets[mask] - target_range.start, minlength=target_range.count
+    )
+    return out_degrees.astype(np.int64), in_degrees.astype(np.int64)
 
 
 def _expected_edge_total(

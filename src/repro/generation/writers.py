@@ -38,12 +38,14 @@ def write_ntriples(
             for node in range(type_range.start, type_range.stop):
                 handle.write(f"<{namespace}n{node}> {rdf_type} {type_iri} .\n")
                 written += 1
-        for source, label, target in graph.triples():
-            handle.write(
-                f"<{namespace}n{source}> <{namespace}p/{label}> "
-                f"<{namespace}n{target}> .\n"
+        for label in graph.labels():
+            sources, targets = graph.edge_arrays(label)
+            predicate = f"<{namespace}p/{label}>"
+            handle.writelines(
+                f"<{namespace}n{source}> {predicate} <{namespace}n{target}> .\n"
+                for source, target in zip(sources.tolist(), targets.tolist())
             )
-            written += 1
+            written += len(sources)
     return written
 
 
@@ -54,9 +56,13 @@ def write_edge_list(graph: LabeledGraph, path: str | os.PathLike) -> int:
     """
     written = 0
     with _open_for_write(path) as handle:
-        for source, label, target in graph.triples():
-            handle.write(f"{source} {label} {target}\n")
-            written += 1
+        for label in graph.labels():
+            sources, targets = graph.edge_arrays(label)
+            handle.writelines(
+                f"{source} {label} {target}\n"
+                for source, target in zip(sources.tolist(), targets.tolist())
+            )
+            written += len(sources)
     return written
 
 
@@ -73,10 +79,14 @@ def write_csv_tables(
     files: dict[str, str] = {}
     for label in graph.labels():
         path = os.path.join(str(directory), f"{label}.csv")
+        # edge_arrays is already sorted by (source, target).
+        sources, targets = graph.edge_arrays(label)
         with _open_for_write(path) as handle:
             handle.write("source,target\n")
-            for source, target in sorted(graph.edges_with_label(label)):
-                handle.write(f"{source},{target}\n")
+            handle.writelines(
+                f"{source},{target}\n"
+                for source, target in zip(sources.tolist(), targets.tolist())
+            )
         files[label] = path
     return files
 
@@ -84,15 +94,29 @@ def write_csv_tables(
 def read_edge_list(
     path: str | os.PathLike, config
 ) -> LabeledGraph:
-    """Load a graph previously written by :func:`write_edge_list`."""
+    """Load a graph previously written by :func:`write_edge_list`.
+
+    Lines are batched per label and bulk-appended as arrays, so loading
+    goes through the same columnar path as generation.
+    """
+    import numpy as np
+
     graph = LabeledGraph(config)
+    batches: dict[str, tuple[list[int], list[int]]] = {}
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             parts = line.split()
             if not parts:
                 continue
-            source, label, target = parts[0], parts[1], parts[2]
-            graph.add_edge(int(source), label, int(target))
+            sources, targets = batches.setdefault(parts[1], ([], []))
+            sources.append(int(parts[0]))
+            targets.append(int(parts[2]))
+    for label, (sources, targets) in batches.items():
+        graph.add_edges(
+            label,
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+        )
     return graph
 
 

@@ -98,20 +98,40 @@ def extract_schema(
         else:
             schema.add_type(type_name, proportion(type_range.count / total))
 
-    # Group observed edges by (source type, target type, predicate).
-    grouped: dict[tuple[str, str, str], list[tuple[int, int]]] = {}
-    for source, label, target in graph.triples():
-        key = (graph.type_of(source), graph.type_of(target), label)
-        grouped.setdefault(key, []).append((source, target))
+    # Map node ids to type indexes via the contiguous range starts, then
+    # group each label's edge columns by (source type, target type)
+    # without touching individual triples.
+    type_names = list(graph.config.ranges)
+    starts = np.asarray(
+        [graph.config.ranges[name].start for name in type_names], dtype=np.int64
+    )
 
-    for (source_type, target_type, label), edges in sorted(grouped.items()):
+    grouped: dict[tuple[str, str, str], tuple[np.ndarray, np.ndarray]] = {}
+    for label in graph.labels():
+        sources, targets = graph.edge_arrays(label)
+        source_types = np.searchsorted(starts, sources, side="right") - 1
+        target_types = np.searchsorted(starts, targets, side="right") - 1
+        pair_ids = source_types * len(type_names) + target_types
+        for pair_id in np.unique(pair_ids).tolist():
+            mask = pair_ids == pair_id
+            source_type = type_names[pair_id // len(type_names)]
+            target_type = type_names[pair_id % len(type_names)]
+            grouped[(source_type, target_type, label)] = (
+                sources[mask],
+                targets[mask],
+            )
+
+    for (source_type, target_type, label), (sources, targets) in sorted(
+        grouped.items()
+    ):
         source_range = graph.config.ranges[source_type]
         target_range = graph.config.ranges[target_type]
-        out_degrees = np.zeros(source_range.count, dtype=np.int64)
-        in_degrees = np.zeros(target_range.count, dtype=np.int64)
-        for source, target in edges:
-            out_degrees[source - source_range.start] += 1
-            in_degrees[target - target_range.start] += 1
+        out_degrees = np.bincount(
+            sources - source_range.start, minlength=source_range.count
+        )
+        in_degrees = np.bincount(
+            targets - target_range.start, minlength=target_range.count
+        )
         schema.add_edge(
             source_type,
             target_type,
