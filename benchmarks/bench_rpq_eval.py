@@ -1,0 +1,157 @@
+"""RPQ evaluation micro-benchmark: frontier sweep vs. per-source BFS.
+
+Measures, per instance size, the SPARQL-like engine's evaluation time
+for three query shapes on the bib scenario:
+
+* **linear** — a concatenation path (the Fig. 12 linear class);
+* **star** — a disjunction fan (several paths unioned in one regex);
+* **recursive** — an outermost Kleene star (the Table 4 class);
+
+for both the **frontier** engine (one vectorized multi-source
+product-automaton sweep per regex, ``repro/engine/frontier.py``) and
+the retained **reference** engine (the seed's per-source Python BFS,
+``repro/engine/reference_bfs.py``).  Answer sets are asserted identical
+on every run, so the speedup is parity-checked by construction.
+
+Writes the ``BENCH_rpq_eval.json`` artifact at the repository root so
+the perf trajectory is tracked across PRs, and exits non-zero if the
+median frontier speedup falls below the acceptance floor (≥5× on every
+shape at the floor size).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rpq_eval.py [--smoke]
+
+``--smoke`` runs a small instance only and keeps the floor check (CI
+smoke); the default measures 50k and 100k nodes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.engine.budget import unlimited
+from repro.engine.bfs import SparqlLikeEngine
+from repro.engine.reference_bfs import ReferenceSparqlEngine
+from repro.generation.generator import generate_graph
+from repro.queries.parser import parse_query
+from repro.scenarios import bib_schema
+from repro.schema.config import GraphConfiguration
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_rpq_eval.json"
+
+SEED = 7
+SPEEDUP_FLOOR = 5.0
+REPETITIONS = 3
+
+#: Shape -> UCRPQ text (bib scenario predicates).
+SHAPES = {
+    "linear": "(?x, ?y) <- (?x, authors.publishedIn, ?y)",
+    "star": (
+        "(?x, ?y) <- "
+        "(?x, (authors.publishedIn + authors.extendedTo + authors), ?y)"
+    ),
+    "recursive": "(?x, ?y) <- (?x, (extendedTo)*, ?y)",
+}
+
+
+def _median_time(engine, query, graph) -> tuple[float, set]:
+    times = []
+    answers = None
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        # unlimited(): the reference loop must not trip the default
+        # 60 s timeout at the larger sizes.
+        answers = engine.evaluate(query, graph, unlimited())
+        times.append(time.perf_counter() - started)
+    return statistics.median(times), answers
+
+
+def run(sizes: list[int]) -> dict:
+    frontier = SparqlLikeEngine()
+    reference = ReferenceSparqlEngine()
+    results: dict = {"seed": SEED, "sizes": sizes, "shapes": {}}
+    floor_size = min(sizes)
+    worst_at_floor = float("inf")
+
+    for shape, text in SHAPES.items():
+        query = parse_query(text)
+        rows = []
+        for n in sizes:
+            graph = generate_graph(
+                GraphConfiguration(n, bib_schema()), seed=SEED
+            )
+            frontier_s, frontier_answers = _median_time(frontier, query, graph)
+            reference_s, reference_answers = _median_time(
+                reference, query, graph
+            )
+            if frontier_answers != reference_answers:
+                raise AssertionError(
+                    f"{shape}@{n}: frontier and reference answers diverge "
+                    f"({len(frontier_answers)} vs {len(reference_answers)})"
+                )
+            speedup = reference_s / max(frontier_s, 1e-9)
+            rows.append(
+                {
+                    "nodes": n,
+                    "query": text,
+                    "frontier_s": round(frontier_s, 5),
+                    "reference_s": round(reference_s, 5),
+                    "speedup": round(speedup, 2),
+                    "answers": len(frontier_answers),
+                }
+            )
+            if n == floor_size:
+                worst_at_floor = min(worst_at_floor, speedup)
+            print(
+                f"{shape:>9} n={n:>7,}: frontier {frontier_s:.4f}s vs "
+                f"reference {reference_s:.4f}s ({speedup:.1f}x, "
+                f"{len(frontier_answers):,} answers)"
+            )
+        results["shapes"][shape] = rows
+
+    results["floor_size"] = floor_size
+    results["worst_speedup_at_floor_size"] = round(worst_at_floor, 2)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance only; still enforces the speedup floor (CI)",
+    )
+    args = parser.parse_args()
+
+    sizes = [5_000] if args.smoke else [50_000, 100_000]
+    results = run(sizes)
+    results["smoke"] = args.smoke
+
+    if args.smoke:
+        # Smoke mode must not clobber the tracked full-run artifact.
+        print("smoke mode: artifact not written")
+    else:
+        ARTIFACT.write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {ARTIFACT}")
+
+    worst = results["worst_speedup_at_floor_size"]
+    if worst < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: worst shape speedup {worst}x at "
+            f"{results['floor_size']:,} nodes < {SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

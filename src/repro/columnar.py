@@ -156,6 +156,57 @@ def indptr_for(sorted_column: np.ndarray, domain_size: int) -> np.ndarray:
     return indptr
 
 
+def expand_indptr(
+    nodes: np.ndarray,
+    indptr: np.ndarray,
+    payload: np.ndarray,
+    check_rows=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch CSR gather: the payload rows of a whole frontier at once.
+
+    ``payload[indptr[v]:indptr[v + 1]]`` holds the row of node ``v``;
+    this expands every row of ``nodes`` in one vectorized pass and
+    returns ``(probe_index, values)`` where ``values[i]`` belongs to
+    ``nodes[probe_index[i]]``.  This is the frontier-BFS counterpart of
+    :func:`expand_join` — direct ``indptr`` indexing instead of binary
+    search, for stores that maintain a dense row-pointer array.
+
+    ``check_rows`` is called with the gathered size before the output
+    arrays are materialised (budget hook, as in :func:`expand_join`).
+    """
+    lo = indptr[nodes]
+    counts = indptr[nodes + 1] - lo
+    total = int(counts.sum())
+    if check_rows is not None:
+        check_rows(total)
+    if total == 0:
+        return EMPTY_I64, EMPTY_I64
+    probe_index = np.repeat(np.arange(nodes.size), counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    return probe_index, payload[np.repeat(lo, counts) + offsets]
+
+
+def advance_frontier(
+    candidates: np.ndarray, visited: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One level-synchronous BFS step as sorted-set algebra.
+
+    ``candidates`` (unsorted, possibly duplicated) are the keys reached
+    this level; ``visited`` is the sorted unique column of keys already
+    seen.  Returns ``(fresh, new_visited)``: the sorted unique
+    candidates not yet visited, and ``visited`` with them merged in.
+    Works for any packed key domain — plain node ids or packed
+    (source, node) pair keys alike.
+    """
+    if candidates.size == 0:
+        return EMPTY_I64, visited
+    candidates = np.unique(candidates)
+    fresh = keys_difference(candidates, visited)
+    if fresh.size == 0:
+        return EMPTY_I64, visited
+    return fresh, merge_keys(visited, fresh, extra_canonical=True)
+
+
 def expand_join(
     probe: np.ndarray,
     build_sorted: np.ndarray,

@@ -10,8 +10,9 @@ paper observes (see DESIGN.md §3):
 * :class:`PostgresLikeEngine` (**P**) — vectorised sort-merge/hash
   joins with SQL:1999-style linear recursion; strong on non-recursive
   queries, degrades badly on recursion;
-* :class:`SparqlLikeEngine` (**S**) — per-source NFA-product BFS (the
-  property-path strategy); wins on quadratic workloads;
+* :class:`SparqlLikeEngine` (**S**) — multi-source NFA-product frontier
+  BFS (the property-path strategy, vectorized per level); wins on
+  quadratic workloads;
 * :class:`CypherLikeEngine` (**G**) — edge-isomorphic pattern matching
   without inverse/concatenation under Kleene star, whose answers can
   legitimately differ (§7.1).
@@ -27,6 +28,8 @@ from repro.engine.joins import join_rule, greedy_join_order
 from repro.engine.algebraic import DatalogLikeEngine
 from repro.engine.sqllike import PostgresLikeEngine
 from repro.engine.bfs import SparqlLikeEngine
+from repro.engine.frontier import frontier_reachable, frontier_regex_relation
+from repro.engine.reference_bfs import ReferenceSparqlEngine
 from repro.engine.isomorphic import CypherLikeEngine
 from repro.engine.evaluator import (
     ENGINES,
@@ -46,6 +49,9 @@ __all__ = [
     "DatalogLikeEngine",
     "PostgresLikeEngine",
     "SparqlLikeEngine",
+    "ReferenceSparqlEngine",
+    "frontier_regex_relation",
+    "frontier_reachable",
     "CypherLikeEngine",
     "ENGINES",
     "Engine",

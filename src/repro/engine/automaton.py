@@ -15,19 +15,31 @@ The engines run these NFAs as product automata over the graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.queries.ast import RegularExpression
+
+#: One grouped move: all states reachable from a state by one symbol.
+TransitionTable = dict[int, tuple[tuple[str, tuple[int, ...]], ...]]
 
 
 @dataclass
 class NFA:
-    """A non-deterministic finite automaton over ``Sigma±`` symbols."""
+    """A non-deterministic finite automaton over ``Sigma±`` symbols.
+
+    Instances coming out of :func:`build_nfa` are memoized and shared
+    between evaluations — treat them (including ``transitions``) as
+    immutable.
+    """
 
     state_count: int
     start: int
     accepting: frozenset[int]
     # transitions[state] -> list of (symbol, next_state)
     transitions: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+    _table: TransitionTable | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
         """All states reachable from ``states`` by one ``symbol`` edge."""
@@ -50,6 +62,33 @@ class NFA:
                 return False
         return self.is_accepting(states)
 
+    def transition_table(self) -> TransitionTable:
+        """Per-(state, symbol) moves for frontier sweeps, grouped.
+
+        ``table[state]`` is a tuple of ``(symbol, target_states)``
+        entries with each symbol appearing once — a frontier evaluator
+        gathers the graph's ``symbol``-successors a single time per
+        state and routes the result to every target state.  Computed
+        once per NFA and cached (NFAs themselves are memoized per
+        regular expression).
+        """
+        table = self._table
+        if table is None:
+            grouped: dict[int, dict[str, list[int]]] = {}
+            for state, moves in self.transitions.items():
+                by_symbol = grouped.setdefault(state, {})
+                for symbol, next_state in moves:
+                    by_symbol.setdefault(symbol, []).append(next_state)
+            table = {
+                state: tuple(
+                    (symbol, tuple(sorted(set(targets))))
+                    for symbol, targets in by_symbol.items()
+                )
+                for state, by_symbol in grouped.items()
+            }
+            self._table = table
+        return table
+
     @property
     def symbols(self) -> set[str]:
         """Alphabet actually used by the transitions."""
@@ -66,8 +105,15 @@ class NFA:
         )
 
 
+@lru_cache(maxsize=1024)
 def build_nfa(regex: RegularExpression) -> NFA:
-    """Compile a normal-form regular expression into an NFA."""
+    """Compile a normal-form regular expression into an NFA.
+
+    Memoized per expression (the AST is hashable): benchmarks and
+    multi-engine runs evaluate identical regexes many times, and the
+    compiled NFA — including its cached transition table — is shared
+    rather than rebuilt.  Callers must not mutate the result.
+    """
     transitions: dict[int, list[tuple[str, int]]] = {}
     next_state = 0
 

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import connected_components
 
+from repro.columnar import keys_contain
 from repro.engine.budget import EvaluationBudget, unlimited
 from repro.engine.relations import BinaryRelation
 
@@ -83,8 +84,11 @@ class ClosureRelation:
         budget.check_time()
 
         # Component-level reachability (includes self), computed in
-        # reverse topological order with memoised descendant sets.
-        self._reach: dict[int, frozenset[int]] = {}
+        # reverse topological order with memoised descendant sets held
+        # as sorted id columns — the same sorted-set algebra as the
+        # frontier kernels, so membership is one binary search and the
+        # expansion below is pure array indexing.
+        self._reach: dict[int, np.ndarray] = {}
         self._compute_reachability(dag_successors, component_count, budget)
 
         self._size: int | None = None
@@ -117,27 +121,47 @@ class ClosureRelation:
                     if state[component] == 2:
                         continue
                     state[component] = 2
-                    reach = {component}
-                    for successor in dag_successors.get(component, ()):
-                        reach |= self._reach[successor]
-                    self._reach[component] = frozenset(reach)
+                    successors = dag_successors.get(component, ())
+                    own = np.array([component], dtype=np.int64)
+                    if successors:
+                        self._reach[component] = np.unique(
+                            np.concatenate(
+                                [own] + [self._reach[s] for s in successors]
+                            )
+                        )
+                    else:
+                        self._reach[component] = own
                     budget.check_time()
 
     # -- relation API -----------------------------------------------------
 
     def __len__(self) -> int:
         if self._size is None:
-            component_sizes = np.array(
-                [len(m) for m in self._members], dtype=np.int64
-            )
-            reach_sizes = np.array(
-                [
-                    int(component_sizes[list(self._reach[c])].sum())
-                    for c in range(len(self._members))
-                ],
-                dtype=np.int64,
-            )
-            self._size = int((component_sizes * reach_sizes).sum())
+            component_count = len(self._members)
+            if component_count == 0:
+                self._size = 0
+            else:
+                # |R*| = Σ_c |c| · Σ_{d ∈ reach(c)} |d|, fully array-side:
+                # concatenate the reach columns (each non-empty — a
+                # component always reaches itself) and segment-sum the
+                # gathered component sizes with one reduceat.
+                component_sizes = np.bincount(
+                    self._labels, minlength=component_count
+                )
+                reach_columns = [
+                    self._reach[c] for c in range(component_count)
+                ]
+                reach_counts = np.fromiter(
+                    (column.size for column in reach_columns),
+                    dtype=np.int64,
+                    count=component_count,
+                )
+                starts = np.concatenate(
+                    ([0], np.cumsum(reach_counts)[:-1])
+                )
+                gathered = component_sizes[np.concatenate(reach_columns)]
+                reach_sizes = np.add.reduceat(gathered, starts)
+                self._size = int((component_sizes * reach_sizes).sum())
         return self._size
 
     def __bool__(self) -> bool:
@@ -147,7 +171,9 @@ class ClosureRelation:
         source, target = pair
         if not (0 <= source < self.node_count and 0 <= target < self.node_count):
             return False
-        return int(self._labels[target]) in self._reach[int(self._labels[source])]
+        return keys_contain(
+            self._reach[int(self._labels[source])], int(self._labels[target])
+        )
 
     def targets_of(self, source: int) -> set[int]:
         """Reachable nodes from ``source`` — always a fresh, safe set."""
@@ -160,7 +186,9 @@ class ClosureRelation:
         component = int(self._labels[source])
         cached = self._targets_cache.get(component)
         if cached is None:
-            members = [self._members[c] for c in self._reach[component]]
+            members = [
+                self._members[c] for c in self._reach[component].tolist()
+            ]
             cached = np.concatenate(members) if members else np.empty(0, np.int64)
             cached.setflags(write=False)
             self._targets_cache[component] = cached

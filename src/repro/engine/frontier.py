@@ -1,0 +1,194 @@
+"""Frontier-relation BFS: level-synchronous sweeps as sorted-set algebra.
+
+The evaluation counterpart of the columnar CSR store.  Instead of
+walking the graph one Python (node, state) pair at a time, a sweep
+keeps one packed key column per "colour" (an NFA state, or just the
+single colour of plain reachability) and advances *all* of its members
+per level in a handful of numpy passes:
+
+1. **gather** — :func:`repro.columnar.expand_indptr` expands the whole
+   frontier's successor rows through a symbol's ``(indptr, payload)``
+   CSR index at once;
+2. **route** — candidates are packed ``(source, node)`` keys and
+   appended to every NFA target state of the transition;
+3. **dedup + difference + merge** —
+   :func:`repro.columnar.advance_frontier` drops duplicates and
+   already-visited keys and merges the rest into the state's visited
+   column.
+
+:func:`frontier_regex_relation` runs the product automaton of a
+compiled NFA and the graph for *all* sources simultaneously: the
+frontier of a state is a packed (source, node) *relation*, so one
+(level, state, symbol) step costs one CSR gather regardless of how many
+sources are still alive.  :func:`frontier_reachable` is the single-
+colour variant (multi-label node reachability) shared with the Cypher
+engine's variable-length patterns.
+
+The seed's per-source BFS survives in :mod:`repro.engine.reference_bfs`
+as the parity oracle and the ``bench_rpq_eval`` baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar import (
+    EMPTY_I64,
+    advance_frontier,
+    expand_indptr,
+    indptr_for,
+    merge_keys,
+    pack_pairs,
+    unpack_keys,
+)
+from repro.engine.automaton import NFA
+from repro.engine.budget import EvaluationBudget
+from repro.engine.relations import BinaryRelation
+from repro.queries.ast import is_inverse, symbol_base
+
+
+class SymbolCSRCache:
+    """Per-evaluation cache of ``(indptr, payload)`` pairs per symbol.
+
+    Resolves through :meth:`LabeledGraph.csr_arrays` when the backend
+    exposes it (the columnar store: zero-copy views of its lazy CSR
+    indexes) and otherwise builds the index once from ``edge_arrays``
+    (the dict-of-sets reference backend used by the parity tests).
+    ``None`` marks a symbol with no edges.
+    """
+
+    __slots__ = ("graph", "_entries")
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._entries: dict[str, tuple[np.ndarray, np.ndarray] | None] = {}
+
+    def get(self, symbol: str) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._entries.get(symbol, False)
+        if entry is not False:
+            return entry
+        accessor = getattr(self.graph, "csr_arrays", None)
+        if accessor is not None:
+            entry = accessor(symbol)
+        else:
+            sources, targets = self.graph.edge_arrays(symbol_base(symbol))
+            if sources.size == 0:
+                entry = None
+            else:
+                if is_inverse(symbol):
+                    order = np.argsort(targets, kind="stable")
+                    first, payload = targets[order], sources[order]
+                else:
+                    first, payload = sources, targets
+                entry = (indptr_for(first, self.graph.n), payload)
+        self._entries[symbol] = entry
+        return entry
+
+
+def frontier_regex_relation(
+    nfa: NFA,
+    graph,
+    budget: EvaluationBudget,
+    csr: SymbolCSRCache | None = None,
+) -> BinaryRelation:
+    """Full relation of an NFA's language: one multi-source sweep.
+
+    Every graph node starts at the NFA start state, so the start
+    frontier is the identity relation packed into one key column; the
+    sweep then advances each state's (source, node) frontier relation
+    level-synchronously until no state discovers new pairs.  The union
+    of the accepting states' visited columns *is* the answer relation —
+    it adopts the packed keys zero-copy.
+
+    Matches the per-source BFS (``reference_bfs``) pair for pair.  The
+    budget is charged twice over: each raw gather size *before* its
+    arrays are materialised (the :func:`repro.columnar.expand_join`
+    convention — a runaway level stops as two searchsorted results),
+    and the cumulative count of visited product pairs per level, which
+    is what the reference charges for its ``visited`` sets.
+    """
+    n = graph.n
+    if n == 0:
+        return BinaryRelation()
+    ids = np.arange(n, dtype=np.int64)
+    identity = pack_pairs(ids, ids)
+    # Per NFA state: visited = sorted unique (source, node) key column,
+    # frontier = the slice of it discovered last level.
+    visited: dict[int, np.ndarray] = {nfa.start: identity}
+    frontier: dict[int, np.ndarray] = {nfa.start: identity}
+    table = nfa.transition_table()
+    csr = csr or SymbolCSRCache(graph)
+    total_pairs = identity.size
+
+    while frontier:
+        budget.check_time()
+        gathered: dict[int, list[np.ndarray]] = {}
+        for state, keys in frontier.items():
+            moves = table.get(state)
+            if not moves:
+                continue
+            sources, nodes = unpack_keys(keys)
+            for symbol, target_states in moves:
+                entry = csr.get(symbol)
+                if entry is None:
+                    continue
+                indptr, payload = entry
+                probe_index, successors = expand_indptr(
+                    nodes, indptr, payload, budget.check_rows
+                )
+                if successors.size == 0:
+                    continue
+                candidates = pack_pairs(sources[probe_index], successors)
+                for target_state in target_states:
+                    gathered.setdefault(target_state, []).append(candidates)
+        frontier = {}
+        for state, chunks in gathered.items():
+            candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            fresh, merged = advance_frontier(
+                candidates, visited.get(state, EMPTY_I64)
+            )
+            if fresh.size:
+                visited[state] = merged
+                frontier[state] = fresh
+                total_pairs += fresh.size
+        budget.check_rows(total_pairs)
+
+    accept_keys = EMPTY_I64
+    for state in nfa.accepting:
+        state_keys = visited.get(state)
+        if state_keys is not None:
+            accept_keys = merge_keys(accept_keys, state_keys, extra_canonical=True)
+    return BinaryRelation.from_keys(accept_keys)
+
+
+def frontier_reachable(
+    seeds: np.ndarray,
+    symbols: tuple[str, ...],
+    csr: SymbolCSRCache,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """Nodes reachable from ``seeds`` along any of ``symbols`` (≥0 hops).
+
+    The single-colour frontier sweep: plain node ids instead of packed
+    pair keys, one CSR gather per (level, symbol).  Returns the sorted
+    visited column (read-only semantics; callers own the array).
+    """
+    visited = np.unique(np.asarray(seeds, dtype=np.int64))
+    frontier = visited
+    while frontier.size:
+        budget.check_time()
+        chunks: list[np.ndarray] = []
+        for symbol in symbols:
+            entry = csr.get(symbol)
+            if entry is None:
+                continue
+            _, successors = expand_indptr(
+                frontier, entry[0], entry[1], budget.check_rows
+            )
+            if successors.size:
+                chunks.append(successors)
+        if not chunks:
+            break
+        candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        frontier, visited = advance_frontier(candidates, visited)
+    return visited

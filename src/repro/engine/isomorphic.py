@@ -20,8 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
+import numpy as np
+
+from repro.engine.automaton import NFA
 from repro.engine.base import Engine
 from repro.engine.budget import EvaluationBudget
+from repro.engine.frontier import (
+    SymbolCSRCache,
+    frontier_reachable,
+    frontier_regex_relation,
+)
 from repro.errors import EngineCapabilityError
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import (
@@ -36,6 +44,9 @@ from repro.queries.ast import (
 #: Cap on the per-rule cross product of disjunct choices (as in the
 #: translator: a real system would refuse queries beyond this).
 MAX_BRANCHES = 128
+
+#: Rows materialised per step when streaming a full edge column.
+EDGE_CHUNK = 8192
 
 
 @dataclass(frozen=True)
@@ -74,9 +85,12 @@ class CypherLikeEngine(Engine):
     ) -> set[tuple[int, ...]]:
         budget = (budget or EvaluationBudget()).start()
         answers: set[tuple[int, ...]] = set()
+        # One CSR resolution per evaluation: every var-length hop in
+        # every branch probes the same per-symbol indexes.
+        csr = SymbolCSRCache(graph)
         for rule in query.rules:
             for branch in self._branches(rule):
-                self._match_branch(rule, branch, graph, budget, answers)
+                self._match_branch(rule, branch, graph, budget, answers, csr)
                 budget.check_time()
         return answers
 
@@ -123,7 +137,9 @@ class CypherLikeEngine(Engine):
         graph: LabeledGraph,
         budget: EvaluationBudget,
         answers: set[tuple[int, ...]],
+        csr: SymbolCSRCache | None = None,
     ) -> None:
+        csr = csr or SymbolCSRCache(graph)
         ordered = _order_steps(steps)
 
         def backtrack(
@@ -149,7 +165,9 @@ class CypherLikeEngine(Engine):
                         continue
                     backtrack(index + 1, new_assignment, used_edges | {edge})
             else:
-                for src, trg in _reachable_candidates(step, assignment, graph, budget):
+                for src, trg in _reachable_candidates(
+                    step, assignment, graph, budget, csr
+                ):
                     new_assignment = _extend(assignment, step.source, src)
                     if new_assignment is None:
                         continue
@@ -246,8 +264,7 @@ def _edge_candidates(step: _EdgeStep, assignment: dict[str, int], graph: Labeled
             for src in graph.successors_array(trg_val, label).tolist():
                 yield src, trg_val, (trg_val, label, src)
         else:
-            sources, targets = graph.edge_arrays(label)
-            for src, trg in zip(sources.tolist(), targets.tolist()):
+            for src, trg in _edge_stream(graph, label):
                 yield trg, src, (src, label, trg)
     else:
         if src_val is not None:
@@ -258,9 +275,24 @@ def _edge_candidates(step: _EdgeStep, assignment: dict[str, int], graph: Labeled
             for src in graph.predecessors_array(trg_val, label).tolist():
                 yield src, trg_val, (src, label, trg)
         else:
-            sources, targets = graph.edge_arrays(label)
-            for src, trg in zip(sources.tolist(), targets.tolist()):
+            for src, trg in _edge_stream(graph, label):
                 yield src, trg, (src, label, trg)
+
+
+def _edge_stream(graph: LabeledGraph, label: str):
+    """Stream a label's (source, target) pairs in bounded chunks.
+
+    The unbound-unbound case used to ``.tolist()`` both full edge
+    columns up front; backtracking usually aborts after a handful of
+    candidates, so only ``EDGE_CHUNK`` rows are ever materialised at a
+    time.
+    """
+    sources, targets = graph.edge_arrays(label)
+    for start in range(0, sources.size, EDGE_CHUNK):
+        stop = start + EDGE_CHUNK
+        yield from zip(
+            sources[start:stop].tolist(), targets[start:stop].tolist()
+        )
 
 
 def _reachable_candidates(
@@ -268,56 +300,62 @@ def _reachable_candidates(
     assignment: dict[str, int],
     graph: LabeledGraph,
     budget: EvaluationBudget,
+    csr: SymbolCSRCache | None = None,
 ):
     """(src, trg) pairs of a forward variable-length pattern."""
+    csr = csr or SymbolCSRCache(graph)
     src_val = assignment.get(step.source)
     trg_val = assignment.get(step.target)
 
     if src_val is not None:
-        for trg in _forward_reachable(src_val, step.labels, graph, budget):
+        for trg in _forward_reachable(src_val, step.labels, graph, budget, csr):
             if trg_val is None or trg == trg_val:
                 yield src_val, trg
     elif trg_val is not None:
-        for src in _backward_reachable(trg_val, step.labels, graph, budget):
+        for src in _backward_reachable(trg_val, step.labels, graph, budget, csr):
             yield src, trg_val
     else:
-        for src in range(graph.n):
-            budget.check_time()
-            for trg in _forward_reachable(src, step.labels, graph, budget):
-                yield src, trg
+        # Both ends free: run the pair-level frontier sweep with the
+        # trivial one-state automaton (every label loops on the start
+        # state) — the same kernel the SPARQL-like engine uses — instead
+        # of one per-source Python BFS per graph node.  This trades the
+        # old per-source laziness for the vectorized sweep: the whole
+        # reachability relation is computed on the first candidate
+        # request, with the sweep's own budget hooks bounding runaways.
+        nfa = NFA(
+            1, 0, frozenset({0}), {0: [(label, 0) for label in step.labels]}
+        )
+        relation = frontier_regex_relation(nfa, graph, budget, csr)
+        sources, targets = relation.source_array, relation.target_array
+        for start in range(0, sources.size, EDGE_CHUNK):
+            stop = start + EDGE_CHUNK
+            yield from zip(
+                sources[start:stop].tolist(), targets[start:stop].tolist()
+            )
 
 
 def _forward_reachable(
-    source: int, labels: tuple[str, ...], graph: LabeledGraph, budget: EvaluationBudget
+    source: int,
+    labels: tuple[str, ...],
+    graph: LabeledGraph,
+    budget: EvaluationBudget,
+    csr: SymbolCSRCache | None = None,
 ) -> set[int]:
-    reachable = {source}
-    frontier = [source]
-    while frontier:
-        budget.check_time()
-        next_frontier: list[int] = []
-        for node in frontier:
-            for label in labels:
-                for successor in graph.successors_array(node, label).tolist():
-                    if successor not in reachable:
-                        reachable.add(successor)
-                        next_frontier.append(successor)
-        frontier = next_frontier
-    return reachable
+    """Nodes reachable from ``source`` along the labels (frontier sweep)."""
+    seeds = np.array([source], dtype=np.int64)
+    csr = csr or SymbolCSRCache(graph)
+    return set(frontier_reachable(seeds, labels, csr, budget).tolist())
 
 
 def _backward_reachable(
-    target: int, labels: tuple[str, ...], graph: LabeledGraph, budget: EvaluationBudget
+    target: int,
+    labels: tuple[str, ...],
+    graph: LabeledGraph,
+    budget: EvaluationBudget,
+    csr: SymbolCSRCache | None = None,
 ) -> set[int]:
-    reachable = {target}
-    frontier = [target]
-    while frontier:
-        budget.check_time()
-        next_frontier: list[int] = []
-        for node in frontier:
-            for label in labels:
-                for predecessor in graph.predecessors_array(node, label).tolist():
-                    if predecessor not in reachable:
-                        reachable.add(predecessor)
-                        next_frontier.append(predecessor)
-        frontier = next_frontier
-    return reachable
+    """Nodes reaching ``target`` along the labels (inverse sweep)."""
+    seeds = np.array([target], dtype=np.int64)
+    symbols = tuple(label + "-" for label in labels)
+    csr = csr or SymbolCSRCache(graph)
+    return set(frontier_reachable(seeds, symbols, csr, budget).tolist())

@@ -1,0 +1,97 @@
+"""The seed's per-source product BFS, retained as a reference oracle.
+
+This is the scalar strategy :class:`repro.engine.bfs.SparqlLikeEngine`
+replaced: compile the conjunct regex to an NFA and, *per source node*,
+run a Python BFS over the product of the graph and the automaton,
+marking visited (node, state) pairs one at a time.  It is kept (not
+registered in the engine registry) for:
+
+* the **parity property tests** — the frontier sweep must return the
+  identical relation on random graphs × random UCRPQ shapes
+  (``tests/test_frontier_parity.py``);
+* the **evaluation benchmark baseline** — ``bench_rpq_eval`` measures
+  the frontier engine's speedup against this per-source loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.automaton import NFA, build_nfa
+from repro.engine.base import Engine
+from repro.engine.budget import EvaluationBudget
+from repro.engine.joins import join_rule
+from repro.engine.relations import BinaryRelation
+from repro.generation.graph import LabeledGraph
+from repro.queries.ast import Query, RegularExpression
+
+
+class ReferenceSparqlEngine(Engine):
+    """Per-source NFA-product BFS evaluation (the seed's S engine)."""
+
+    name = "sparql_reference"
+    paper_system = "S"
+
+    def evaluate(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> set[tuple[int, ...]]:
+        budget = (budget or EvaluationBudget()).start()
+        answers: set[tuple[int, ...]] = set()
+        for rule in query.rules:
+            relations = [
+                self._regex_relation(conjunct.regex, graph, budget)
+                for conjunct in rule.body
+            ]
+            answers |= join_rule(rule, relations, budget)
+            budget.check_rows(len(answers))
+        return answers
+
+    def _regex_relation(
+        self,
+        regex: RegularExpression,
+        graph: LabeledGraph,
+        budget: EvaluationBudget,
+    ) -> BinaryRelation:
+        nfa = build_nfa(regex)
+        relation = BinaryRelation()
+        start_accepting = nfa.is_accepting(frozenset({nfa.start}))
+        visited_total = 0
+        for source in range(graph.n):
+            if start_accepting:
+                relation.add(source, source)
+            visited_total += self._bfs_from(source, nfa, graph, relation)
+            if visited_total > budget.max_rows:
+                budget.check_rows(visited_total)
+            if source % 256 == 0:
+                budget.check_time()
+        return relation
+
+    def _bfs_from(
+        self,
+        source: int,
+        nfa: NFA,
+        graph: LabeledGraph,
+        relation: BinaryRelation,
+    ) -> int:
+        """Product BFS from one source; records accepting pairs."""
+        start_pair = (source, nfa.start)
+        visited: set[tuple[int, int]] = {start_pair}
+        queue = deque([start_pair])
+        while queue:
+            node, state = queue.popleft()
+            for symbol, next_state in nfa.transitions.get(state, []):
+                # CSR slice, not a per-call set: the product BFS visits
+                # every (node, state) pair once, so adjacency access
+                # dominates this engine's runtime.
+                for next_node in graph.neighbours_array(node, symbol).tolist():
+                    pair = (next_node, next_state)
+                    if pair in visited:
+                        continue
+                    visited.add(pair)
+                    if next_state in nfa.accepting:
+                        relation.add(source, next_node)
+                    queue.append(pair)
+        return len(visited)

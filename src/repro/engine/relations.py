@@ -69,6 +69,16 @@ class BinaryRelation:
         return relation
 
     @classmethod
+    def from_keys(cls, keys: np.ndarray) -> "BinaryRelation":
+        """Adopt a sorted unique packed key column zero-copy.
+
+        The public face of the packed-key fast path: frontier sweeps
+        and closure kernels that already operate on key columns hand
+        their result over without unpacking.
+        """
+        return cls._from_keys(keys)
+
+    @classmethod
     def from_arrays(cls, sources, targets) -> "BinaryRelation":
         """Build from parallel endpoint columns (deduplicates)."""
         sources = as_id_array(sources)

@@ -143,6 +143,27 @@ class LabeledGraph:
             return self.predecessors_array(node, symbol[:-1])
         return self.successors_array(node, symbol)
 
+    def csr_arrays(self, symbol: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """Full CSR index of one ``Sigma±`` symbol: ``(indptr, payload)``.
+
+        ``payload[indptr[v]:indptr[v + 1]]`` are the ``symbol``-
+        neighbours of node ``v`` (read-only views); ``None`` when the
+        label carries no edges.  The frontier kernels gather successors
+        of whole frontier arrays through this in one pass
+        (:func:`repro.columnar.expand_indptr`) instead of slicing per
+        node.
+        """
+        if symbol.endswith("-"):
+            store = self._stores.get(symbol[:-1])
+            if store is None or not len(store):
+                return None
+            _, firsts = store.backward()
+            return store.backward_indptr(), firsts
+        store = self._stores.get(symbol)
+        if store is None or not len(store):
+            return None
+        return store.forward_indptr(), store.second
+
     def has_edge(self, source: int, label: str, target: int) -> bool:
         """Membership of one (source, label, target) triple."""
         store = self._stores.get(label)

@@ -129,8 +129,11 @@ def _check_side(
                     f"truncation-adjusted expectation {expected_mean:.2f}"
                 )
         # Light tail: a rounded normal's max over thousands of draws
-        # stays within a comfortable multiple of sigma.
-        ceiling = dist.mu + max(8.0 * dist.sigma, 10.0)
+        # stays within a comfortable multiple of sigma.  The matching
+        # step can pile a few extra edges onto one node beyond the
+        # sampled draws (Fig. 5's rebalancing), hence the flat slack on
+        # top of the sigma multiple.
+        ceiling = dist.mu + max(8.0 * dist.sigma, 10.0) + 4.0
         if degrees.max() > ceiling:
             report.violations.append(
                 f"{context}: gaussian max degree {int(degrees.max())} "
