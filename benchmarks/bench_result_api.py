@@ -1,0 +1,197 @@
+"""Result-API micro-benchmark: columnar counting vs seed-era tuples.
+
+The seed's ``Engine.evaluate`` returned ``set[tuple[int, ...]]``, so
+every §7.1 ``count(distinct ?v)`` measurement paid a full tuple-set
+materialisation at the API boundary even though the engine internals
+were already columnar.  PR 4 made :class:`~repro.engine.resultset.
+ResultSet` the return type: counts resolve as array lengths and results
+stay zero-copy columns.
+
+This benchmark drives a :class:`~repro.session.Session` over the bib
+scenario and times a **count-only workload** (the paper's measurement
+form) both ways on identical engine internals:
+
+* **columnar** — ``engine.count_distinct(...)``: evaluation plus an
+  array-side count, no tuples;
+* **seed-style** — ``engine.evaluate(...)`` followed by the boundary
+  the seed always paid: materialise the ``set[tuple]`` and ``len`` it
+  (via the compat shim ``to_set``, the exact migration path).
+
+Counts are asserted equal on every run.  The floor (≥3× aggregate over
+the count-only workload at the floor size) gates the redesign's
+acceptance.  Two shapes are reported for transparency but excluded
+from the floor (``in_floor: false`` in the JSON): ``quadratic`` and
+``recursive`` counts are *evaluation*-dominated — the compose /
+closure construction inside the engine costs the same under either
+API, so their boundary speedup (~2–3×) measures the engine, not the
+result API.  The floor shapes (``single``, ``star``, ``union``) are
+the boundary-dominated §7.1 form: cheap zero-copy evaluation, large
+answer sets, where the seed's per-count tuple materialisation was the
+actual bottleneck.
+
+Writes ``BENCH_result_api.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_result_api.py [--smoke]
+
+``--smoke`` runs a small instance only and keeps the floor check (CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.engine.budget import unlimited
+from repro.engine.evaluator import ENGINES
+from repro.session import Session
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_result_api.json"
+
+SEED = 7
+SPEEDUP_FLOOR = 3.0
+REPETITIONS = 5
+
+#: Shape -> (engine, UCRPQ text).  The floor shapes are the
+#: boundary-dominated §7.1 count workload; ``quadratic`` and
+#: ``recursive`` are informational (evaluation-dominated — see module
+#: docstring).
+SHAPES: dict[str, tuple[str, str]] = {
+    "single": ("datalog", "(?x, ?y) <- (?x, authors, ?y)"),
+    "star": (
+        "datalog",
+        "(?x, ?y) <- (?x, (authors + extendedTo + publishedIn), ?y)",
+    ),
+    "union": (
+        "datalog",
+        "(?x, ?y) <- (?x, authors, ?y)\n(?x, ?y) <- (?x, authors-, ?y)",
+    ),
+    "quadratic": ("datalog", "(?x, ?y) <- (?x, authors-.authors, ?y)"),
+    "recursive": ("sparql", "(?x, ?y) <- (?x, (extendedTo)*, ?y)"),
+}
+FLOOR_SHAPES = ("single", "star", "union")
+
+
+def _median(samples: list[float]) -> float:
+    return statistics.median(samples)
+
+
+def _time_columnar(engine, query, graph) -> tuple[float, int]:
+    times, count = [], 0
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        count = engine.count_distinct(query, graph, unlimited())
+        times.append(time.perf_counter() - started)
+    return _median(times), count
+
+
+def _time_seed_style(engine, query, graph) -> tuple[float, int]:
+    """The seed boundary: evaluate, materialise set[tuple], len()."""
+    times, count = [], 0
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        answers = engine.evaluate(query, graph, unlimited()).to_set()
+        count = len(answers)
+        times.append(time.perf_counter() - started)
+    return _median(times), count
+
+
+def run(sizes: list[int]) -> dict:
+    results: dict = {"seed": SEED, "sizes": sizes, "shapes": {}}
+    floor_size = min(sizes)
+    aggregate_at_floor = {"columnar_s": 0.0, "seed_style_s": 0.0}
+    # One session per size: every shape reuses the cached instance.
+    sessions = {
+        n: Session.from_scenario("bib", nodes=n, seed=SEED) for n in sizes
+    }
+
+    for shape, (engine_name, text) in SHAPES.items():
+        engine = ENGINES[engine_name]
+        rows = []
+        for n in sizes:
+            session = sessions[n]
+            graph = session.graph()
+            query = session.query(text)
+            columnar_s, columnar_count = _time_columnar(engine, query, graph)
+            seed_s, seed_count = _time_seed_style(engine, query, graph)
+            if columnar_count != seed_count:
+                raise AssertionError(
+                    f"{shape}@{n}: columnar count {columnar_count} != "
+                    f"seed-style count {seed_count}"
+                )
+            speedup = seed_s / max(columnar_s, 1e-9)
+            rows.append(
+                {
+                    "nodes": n,
+                    "engine": engine_name,
+                    "query": text,
+                    "columnar_s": round(columnar_s, 5),
+                    "seed_style_s": round(seed_s, 5),
+                    "speedup": round(speedup, 2),
+                    "count": columnar_count,
+                    "in_floor": shape in FLOOR_SHAPES,
+                }
+            )
+            if n == floor_size and shape in FLOOR_SHAPES:
+                aggregate_at_floor["columnar_s"] += columnar_s
+                aggregate_at_floor["seed_style_s"] += seed_s
+            print(
+                f"{shape:>10} n={n:>7,} [{engine_name}]: columnar "
+                f"{columnar_s:.4f}s vs seed-style {seed_s:.4f}s "
+                f"({speedup:.1f}x, count={columnar_count:,})"
+            )
+        results["shapes"][shape] = rows
+
+    aggregate = aggregate_at_floor["seed_style_s"] / max(
+        aggregate_at_floor["columnar_s"], 1e-9
+    )
+    results["floor_size"] = floor_size
+    results["floor_shapes"] = list(FLOOR_SHAPES)
+    results["aggregate_speedup_at_floor_size"] = round(aggregate, 2)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance only; still enforces the speedup floor (CI)",
+    )
+    args = parser.parse_args()
+
+    sizes = [5_000] if args.smoke else [50_000, 100_000]
+    results = run(sizes)
+    results["smoke"] = args.smoke
+
+    if args.smoke:
+        # Smoke mode must not clobber the tracked full-run artifact.
+        print("smoke mode: artifact not written")
+    else:
+        ARTIFACT.write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {ARTIFACT}")
+
+    aggregate = results["aggregate_speedup_at_floor_size"]
+    if aggregate < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: aggregate count-workload speedup {aggregate}x at "
+            f"{results['floor_size']:,} nodes < {SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    print(
+        f"aggregate count-workload speedup at {results['floor_size']:,} "
+        f"nodes: {aggregate}x (floor {SPEEDUP_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

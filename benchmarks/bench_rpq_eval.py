@@ -38,10 +38,7 @@ import time
 from repro.engine.budget import unlimited
 from repro.engine.bfs import SparqlLikeEngine
 from repro.engine.reference_bfs import ReferenceSparqlEngine
-from repro.generation.generator import generate_graph
-from repro.queries.parser import parse_query
-from repro.scenarios import bib_schema
-from repro.schema.config import GraphConfiguration
+from repro.session import Session
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 ARTIFACT = REPO_ROOT / "BENCH_rpq_eval.json"
@@ -80,13 +77,16 @@ def run(sizes: list[int]) -> dict:
     floor_size = min(sizes)
     worst_at_floor = float("inf")
 
+    # One session per size: every shape reuses the cached instance.
+    sessions = {
+        n: Session.from_scenario("bib", nodes=n, seed=SEED) for n in sizes
+    }
     for shape, text in SHAPES.items():
-        query = parse_query(text)
         rows = []
         for n in sizes:
-            graph = generate_graph(
-                GraphConfiguration(n, bib_schema()), seed=SEED
-            )
+            session = sessions[n]
+            query = session.query(text)
+            graph = session.graph()
             frontier_s, frontier_answers = _median_time(frontier, query, graph)
             reference_s, reference_answers = _median_time(
                 reference, query, graph

@@ -1,11 +1,30 @@
-"""Legacy setup shim.
+"""Packaging for the gMark reproduction.
 
-The execution environment ships setuptools without the ``wheel``
-package, so PEP 660 editable installs fail; this shim lets
-``pip install -e . --no-build-isolation`` fall back to the classic
-``setup.py develop`` path.  All metadata lives in pyproject.toml.
+Kept as a classic ``setup.py`` (not PEP 517/pyproject) because the
+execution environment ships setuptools without the ``wheel`` package,
+so build-isolation installs fail; ``pip install -e . --no-build-isolation``
+and ``python setup.py develop`` both work with this file alone.
+
+Installs the ``gmark`` console script (also reachable as
+``python -m repro``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="gmark-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of gMark (ICDE'17): schema-driven generation of "
+        "graphs and UCRPQ workloads, with columnar evaluation engines"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "gmark=repro.cli:main",
+        ]
+    },
+)

@@ -3,14 +3,20 @@
 Subcommands::
 
     gmark generate-graph    --config bib.xml | --scenario bib --nodes N
-                            --output graph.txt [--format ntriples|edges]
+                            --output graph.txt [--format edges|ntriples|csv]
     gmark generate-workload --scenario bib --nodes N --size 30
-                            [--workload-config wl.xml] --output wl.xml
+                            [--workload-config wl.xml] [--output wl.xml]
     gmark translate         --workload wl.xml --dialect sparql
     gmark evaluate          --scenario bib --nodes N --query "(?x,?y) <- ..."
                             [--engine datalog]
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility.  All commands
+drive one :class:`~repro.session.Session` (cached schema → graph →
+workload pipeline), and the extension points — engines, translators,
+scenarios, graph writers — resolve through their shared registries, so
+a plugin registered before :func:`main` runs is immediately usable from
+the command line.  Installed entry points: the ``gmark`` console script
+and ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -18,72 +24,70 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config.xml_io import (
-    graph_config_from_xml,
-    graph_config_to_xml,
-    workload_config_from_xml,
-)
-from repro.engine.evaluator import count_distinct
-from repro.generation.generator import generate_graph
-from repro.generation.writers import write_edge_list, write_ntriples
-from repro.queries.generator import generate_workload
-from repro.queries.parser import parse_query
-from repro.queries.workload import WorkloadConfiguration
-from repro.scenarios import scenario_schema
-from repro.schema.config import GraphConfiguration
-from repro.schema.validate import validate_schema
+from repro.config.xml_io import workload_config_from_xml
+from repro.engine.evaluator import ENGINES
+from repro.generation.writers import GRAPH_WRITERS
+from repro.scenarios import SCENARIOS
+from repro.session import Session
 from repro.translate import TRANSLATORS, workload_from_xml, workload_to_xml
 
 
-def _graph_configuration(args) -> GraphConfiguration:
+def _session(args) -> Session:
     if args.config:
-        with open(args.config, encoding="utf-8") as handle:
-            return graph_config_from_xml(handle.read())
+        return Session.from_config_file(args.config, seed=args.seed)
     if args.scenario:
         if not args.nodes:
             raise SystemExit("--scenario requires --nodes")
-        return GraphConfiguration(args.nodes, scenario_schema(args.scenario))
+        return Session.from_scenario(args.scenario, args.nodes, seed=args.seed)
     raise SystemExit("provide --config FILE or --scenario NAME --nodes N")
 
 
 def _add_source_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", help="graph configuration XML file")
-    parser.add_argument("--scenario", help="built-in scenario (bib/lsn/sp/wd)")
+    parser.add_argument(
+        "--scenario",
+        help=f"built-in scenario ({'/'.join(sorted(SCENARIOS))})",
+    )
     parser.add_argument("--nodes", type=int, help="graph size for --scenario")
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
 
 
 def _cmd_generate_graph(args) -> int:
-    config = _graph_configuration(args)
-    diagnostics = validate_schema(config.schema, config.n)
+    session = _session(args)
+    diagnostics = session.validate()
     for warning in diagnostics.warnings:
         print(f"warning: {warning}", file=sys.stderr)
     diagnostics.raise_if_errors()
-    graph = generate_graph(config, args.seed)
-    if args.format == "ntriples":
-        written = write_ntriples(graph, args.output)
+    written = session.write_graph(args.output, args.format)
+    stats = session.graph().statistics()
+    if isinstance(written, dict):  # per-predicate tables (csv writer)
+        print(f"wrote {len(written)} tables to {args.output} "
+              f"({stats.nodes} nodes, {stats.edges} edges)")
     else:
-        written = write_edge_list(graph, args.output)
-    stats = graph.statistics()
-    print(f"wrote {written} lines to {args.output} "
-          f"({stats.nodes} nodes, {stats.edges} edges)")
+        print(f"wrote {written} lines to {args.output} "
+              f"({stats.nodes} nodes, {stats.edges} edges)")
     return 0
 
 
 def _cmd_generate_workload(args) -> int:
-    graph_config = _graph_configuration(args)
+    session = _session(args)
     if args.workload_config:
         with open(args.workload_config, encoding="utf-8") as handle:
-            workload_config = workload_config_from_xml(handle.read(), graph_config)
+            configuration = workload_config_from_xml(
+                handle.read(), session.config
+            )
+        workload = session.workload(configuration=configuration)
     else:
-        workload_config = WorkloadConfiguration(
-            graph_config, size=args.size, recursion_probability=args.recursion
+        workload = session.workload(
+            size=args.size, recursion_probability=args.recursion
         )
-    workload = generate_workload(workload_config, args.seed)
     xml = workload_to_xml(workload)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        handle.write(xml)
-    print(f"wrote {len(workload)} queries to {args.output}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(f"wrote {len(workload)} queries to {args.output}")
+    else:
+        print(xml)
     return 0
 
 
@@ -99,17 +103,15 @@ def _cmd_translate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    config = _graph_configuration(args)
-    graph = generate_graph(config, args.seed)
-    query = parse_query(args.query)
-    count = count_distinct(query, graph, args.engine)
-    print(count)
+    session = _session(args)
+    # ResultSet.count_distinct(): the count resolves array-side, no
+    # tuple materialization at the CLI boundary.
+    print(session.count_distinct(args.query, args.engine))
     return 0
 
 
 def _cmd_export_config(args) -> int:
-    config = _graph_configuration(args)
-    print(graph_config_to_xml(config))
+    print(_session(args).config_xml())
     return 0
 
 
@@ -122,7 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph = sub.add_parser("generate-graph", help="generate a graph instance")
     _add_source_args(p_graph)
     p_graph.add_argument("--output", required=True)
-    p_graph.add_argument("--format", choices=("edges", "ntriples"), default="edges")
+    p_graph.add_argument(
+        "--format", choices=sorted(GRAPH_WRITERS), default="edges"
+    )
     p_graph.set_defaults(func=_cmd_generate_graph)
 
     p_wl = sub.add_parser("generate-workload", help="generate a query workload")
@@ -131,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--size", type=int, default=30, help="#queries")
     p_wl.add_argument("--recursion", type=float, default=0.0,
                       help="probability of Kleene star per conjunct")
-    p_wl.add_argument("--output", required=True)
+    p_wl.add_argument("--output", help="workload XML path (stdout if omitted)")
     p_wl.set_defaults(func=_cmd_generate_workload)
 
     p_tr = sub.add_parser("translate", help="translate a workload XML")
@@ -143,8 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ev = sub.add_parser("evaluate", help="evaluate a UCRPQ on a fresh instance")
     _add_source_args(p_ev)
     p_ev.add_argument("--query", required=True, help="UCRPQ text")
-    p_ev.add_argument("--engine", default="datalog",
-                      choices=("postgres", "sparql", "cypher", "datalog"))
+    p_ev.add_argument("--engine", default="datalog", choices=sorted(ENGINES))
     p_ev.set_defaults(func=_cmd_evaluate)
 
     p_ex = sub.add_parser("export-config", help="print a scenario as XML")
@@ -155,7 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `gmark ... | head`) closed early; park
+        # stdout on devnull so interpreter shutdown doesn't re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -207,6 +207,36 @@ def advance_frontier(
     return fresh, merge_keys(visited, fresh, extra_canonical=True)
 
 
+def unique_rows(table: np.ndarray) -> np.ndarray:
+    """Lexicographically sorted unique rows of an ``(n, k)`` matrix.
+
+    The k-ary generalisation of a sorted key column: result rows hold
+    the same invariant (sorted, deduplicated) that packed keys give the
+    binary case, so k-ary result groups share the merge/difference
+    algebra below.
+    """
+    if table.shape[0] == 0:
+        return np.ascontiguousarray(table, dtype=np.int64)
+    return np.unique(np.ascontiguousarray(table, dtype=np.int64), axis=0)
+
+
+def rows_in(candidates: np.ndarray, existing: np.ndarray) -> np.ndarray:
+    """Boolean row-membership mask of one unique-row matrix in another.
+
+    Both inputs must be unique-row matrices (:func:`unique_rows`), so a
+    row appearing twice in their concatenation is exactly a row present
+    in both — one ``np.unique(..., return_counts)`` pass, no per-row
+    hashing or tuple construction.
+    """
+    if existing.shape[0] == 0 or candidates.shape[0] == 0:
+        return np.zeros(candidates.shape[0], dtype=bool)
+    combined = np.concatenate((existing, candidates))
+    _, inverse, counts = np.unique(
+        combined, axis=0, return_inverse=True, return_counts=True
+    )
+    return counts[inverse[existing.shape[0]:]] == 2
+
+
 def expand_join(
     probe: np.ndarray,
     build_sorted: np.ndarray,

@@ -24,6 +24,7 @@ timeouts/row blowups as the paper's "-" failures.
 from repro.engine.budget import EvaluationBudget
 from repro.engine.automaton import NFA, build_nfa
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.engine.joins import join_rule, greedy_join_order
 from repro.engine.algebraic import DatalogLikeEngine
 from repro.engine.sqllike import PostgresLikeEngine
@@ -37,6 +38,7 @@ from repro.engine.evaluator import (
     count_distinct,
     engine_by_name,
     evaluate_query,
+    register_engine,
 )
 
 __all__ = [
@@ -44,6 +46,8 @@ __all__ = [
     "NFA",
     "build_nfa",
     "BinaryRelation",
+    "ResultSet",
+    "register_engine",
     "join_rule",
     "greedy_join_order",
     "DatalogLikeEngine",

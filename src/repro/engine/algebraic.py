@@ -10,14 +10,21 @@ pays full materialisation).
 
 from __future__ import annotations
 
-from repro.engine.base import Engine, SymbolRelationCache, regex_to_relation
+from repro.engine.base import (
+    Engine,
+    SymbolRelationCache,
+    regex_to_relation,
+    register_engine,
+)
 from repro.engine.budget import EvaluationBudget
 from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import Query
 
 
+@register_engine
 class DatalogLikeEngine(Engine):
     """Bottom-up semi-naive evaluation with full materialisation."""
 
@@ -29,18 +36,21 @@ class DatalogLikeEngine(Engine):
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
+    ) -> ResultSet:
         budget = (budget or EvaluationBudget()).start()
         cache = SymbolRelationCache(graph)
-        answers: set[tuple[int, ...]] = set()
+        answers: ResultSet | None = None
         for rule in query.rules:
             relations: list[BinaryRelation] = [
                 regex_to_relation(conjunct.regex, cache, budget)
                 for conjunct in rule.body
             ]
-            answers |= join_rule(rule, relations, budget)
-            budget.check_rows(len(answers))
-        return answers
+            rule_answers = join_rule(rule, relations, budget)
+            answers = (
+                rule_answers if answers is None else answers.union(rule_answers)
+            )
+            budget.check_rows(answers.count())
+        return answers if answers is not None else ResultSet.empty()
 
     def count_distinct(
         self,

@@ -1,11 +1,30 @@
-"""Engine base class and shared regex-evaluation helpers."""
+"""Engine base class, registry, and shared regex-evaluation helpers."""
 
 from __future__ import annotations
 
 from repro.engine.budget import EvaluationBudget
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
+from repro.errors import EngineError
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import Query, RegularExpression
+from repro.registry import Registry
+
+#: The engine registry (the §7 systems register themselves with
+#: :func:`register_engine`; paper letters P/S/G/D resolve as aliases).
+ENGINES: Registry["Engine"] = Registry("engine", error_type=EngineError)
+
+
+def register_engine(engine_cls):
+    """Class decorator: instantiate and register under ``cls.name``.
+
+    The paper's system letter (``paper_system``) registers as an alias,
+    so Table 4 / Fig. 12 row labels resolve too.
+    """
+    instance = engine_cls()
+    aliases = (instance.paper_system,) if instance.paper_system != "?" else ()
+    ENGINES.register(instance.name, instance, aliases=aliases)
+    return engine_cls
 
 
 class Engine:
@@ -26,8 +45,10 @@ class Engine:
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
-        """Answer set of ``query`` on ``graph`` (tuples of node ids)."""
+    ) -> ResultSet:
+        """Answers of ``query`` on ``graph`` as a columnar
+        :class:`~repro.engine.resultset.ResultSet` (compatible with the
+        seed-era ``set[tuple[int, ...]]`` through its set shim)."""
         raise NotImplementedError
 
     def count_distinct(
@@ -36,8 +57,17 @@ class Engine:
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
     ) -> int:
-        """``count(distinct ?v)`` — the §7.1 measurement form."""
-        return len(self.evaluate(query, graph, budget))
+        """``count(distinct ?v)`` — the §7.1 measurement form.
+
+        Resolved via :meth:`ResultSet.count_distinct` (an array length):
+        the aggregate boundary never materialises answer tuples.  A
+        plain ``len`` fallback keeps third-party engines that still
+        return ``set[tuple]`` working.
+        """
+        result = self.evaluate(query, graph, budget)
+        if isinstance(result, ResultSet):
+            return result.count_distinct()
+        return len(result)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -24,15 +24,17 @@ oracle + benchmark baseline).
 from __future__ import annotations
 
 from repro.engine.automaton import build_nfa
-from repro.engine.base import Engine
+from repro.engine.base import Engine, register_engine
 from repro.engine.budget import EvaluationBudget
 from repro.engine.frontier import SymbolCSRCache, frontier_regex_relation
 from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import Query, RegularExpression
 
 
+@register_engine
 class SparqlLikeEngine(Engine):
     """Multi-source product-automaton frontier sweep evaluation."""
 
@@ -44,9 +46,9 @@ class SparqlLikeEngine(Engine):
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
+    ) -> ResultSet:
         budget = (budget or EvaluationBudget()).start()
-        answers: set[tuple[int, ...]] = set()
+        answers: ResultSet | None = None
         # One CSR resolution per evaluation: conjuncts sharing symbols
         # reuse the same (indptr, payload) views.
         csr = SymbolCSRCache(graph)
@@ -55,9 +57,12 @@ class SparqlLikeEngine(Engine):
                 self._regex_relation(conjunct.regex, graph, budget, csr)
                 for conjunct in rule.body
             ]
-            answers |= join_rule(rule, relations, budget)
-            budget.check_rows(len(answers))
-        return answers
+            rule_answers = join_rule(rule, relations, budget)
+            answers = (
+                rule_answers if answers is None else answers.union(rule_answers)
+            )
+            budget.check_rows(answers.count())
+        return answers if answers is not None else ResultSet.empty()
 
     def _regex_relation(
         self,

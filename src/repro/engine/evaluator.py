@@ -1,43 +1,36 @@
-"""Engine registry and evaluation front-end."""
+"""Evaluation front-end over the engine registry.
+
+Importing this module loads the four §7 engine modules, whose
+``@register_engine`` decorators populate the shared
+:data:`~repro.engine.base.ENGINES` registry (paper letters P/S/G/D
+resolve as aliases).  ``evaluate_query`` / ``count_distinct`` are the
+functional front doors; :class:`~repro.session.Session` wraps them with
+cached artifacts.
+"""
 
 from __future__ import annotations
 
-from repro.engine.algebraic import DatalogLikeEngine
-from repro.engine.base import Engine
-from repro.engine.bfs import SparqlLikeEngine
+# Imported for their @register_engine side effect (and re-exported as
+# part of the public engine API).
+from repro.engine.algebraic import DatalogLikeEngine  # noqa: F401
+from repro.engine.base import ENGINES, Engine, register_engine  # noqa: F401
+from repro.engine.bfs import SparqlLikeEngine  # noqa: F401
 from repro.engine.budget import EvaluationBudget
-from repro.engine.isomorphic import CypherLikeEngine
-from repro.engine.sqllike import PostgresLikeEngine
-from repro.errors import EngineError
+from repro.engine.isomorphic import CypherLikeEngine  # noqa: F401
+from repro.engine.resultset import ResultSet
+from repro.engine.sqllike import PostgresLikeEngine  # noqa: F401
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import Query
 
-#: The four §7 systems, keyed by engine name.
-ENGINES: dict[str, Engine] = {
-    engine.name: engine
-    for engine in (
-        PostgresLikeEngine(),
-        SparqlLikeEngine(),
-        CypherLikeEngine(),
-        DatalogLikeEngine(),
-    )
-}
-
-#: Paper letter -> engine name (Table 4 / Fig. 12 row labels).
-PAPER_SYSTEMS = {engine.paper_system: name for name, engine in ENGINES.items()}
+#: Paper letter -> engine name (Table 4 / Fig. 12 row labels) — a view
+#: of the registry's aliases, kept for backward compatibility.
+PAPER_SYSTEMS = ENGINES.aliases()
 
 
 def engine_by_name(name: str) -> Engine:
     """Look up an engine by name ('postgres', 'sparql', 'cypher',
     'datalog') or by the paper's system letter ('P', 'S', 'G', 'D')."""
-    if name in ENGINES:
-        return ENGINES[name]
-    if name in PAPER_SYSTEMS:
-        return ENGINES[PAPER_SYSTEMS[name]]
-    raise EngineError(
-        f"unknown engine {name!r}; available: {sorted(ENGINES)} "
-        f"or letters {sorted(PAPER_SYSTEMS)}"
-    )
+    return ENGINES[name]
 
 
 def evaluate_query(
@@ -45,10 +38,10 @@ def evaluate_query(
     graph: LabeledGraph,
     engine: str | Engine = "datalog",
     budget: EvaluationBudget | None = None,
-) -> set[tuple[int, ...]]:
+) -> ResultSet:
     """Evaluate ``query`` on ``graph`` with the chosen engine."""
     if isinstance(engine, str):
-        engine = engine_by_name(engine)
+        engine = ENGINES[engine]
     return engine.evaluate(query, graph, budget)
 
 
@@ -60,5 +53,5 @@ def count_distinct(
 ) -> int:
     """``count(distinct ?v)`` over the answers (the §7.1 measurement)."""
     if isinstance(engine, str):
-        engine = engine_by_name(engine)
+        engine = ENGINES[engine]
     return engine.count_distinct(query, graph, budget)

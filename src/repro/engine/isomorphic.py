@@ -23,8 +23,9 @@ from itertools import product
 import numpy as np
 
 from repro.engine.automaton import NFA
-from repro.engine.base import Engine
+from repro.engine.base import Engine, register_engine
 from repro.engine.budget import EvaluationBudget
+from repro.engine.resultset import ResultSet
 from repro.engine.frontier import (
     SymbolCSRCache,
     frontier_reachable,
@@ -70,6 +71,7 @@ class _VarLengthStep:
 _Step = "_EdgeStep | _VarLengthStep"
 
 
+@register_engine
 class CypherLikeEngine(Engine):
     """Backtracking edge-isomorphic matcher with the §7.1 workaround."""
 
@@ -82,8 +84,11 @@ class CypherLikeEngine(Engine):
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
+    ) -> ResultSet:
         budget = (budget or EvaluationBudget()).start()
+        # Backtracking is inherently tuple-at-a-time (matches surface one
+        # assignment at a time), so G accumulates a Python set and wraps
+        # it columnar once at the boundary.
         answers: set[tuple[int, ...]] = set()
         # One CSR resolution per evaluation: every var-length hop in
         # every branch probes the same per-symbol indexes.
@@ -92,7 +97,7 @@ class CypherLikeEngine(Engine):
             for branch in self._branches(rule):
                 self._match_branch(rule, branch, graph, budget, answers, csr)
                 budget.check_time()
-        return answers
+        return ResultSet(answers, arity=len(query.rules[0].head))
 
     # -- branch construction --------------------------------------------
 

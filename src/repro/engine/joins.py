@@ -17,8 +17,9 @@ only expose the set API (the SCC-compressed
 avoids materialising its pair set) fall back to per-row loops over
 ``targets_of_array``.  Rows stay unique by construction — every
 extension either filters rows or appends distinct values per row — so
-no intermediate deduplication is needed; Python tuples are only built
-for the final head projection.
+no intermediate deduplication is needed.  The head projection is handed
+to :class:`~repro.engine.resultset.ResultSet` as column groups: no
+Python tuple is ever built on the evaluation path.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ import numpy as np
 from repro.columnar import expand_join, keys_contain_many, pack_pairs
 from repro.engine.budget import EvaluationBudget, unlimited
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.queries.ast import QueryRule
 
 
@@ -165,12 +167,12 @@ def join_rule(
     relations: list[BinaryRelation],
     budget: EvaluationBudget | None = None,
     order: list[int] | None = None,
-) -> set[tuple[int, ...]]:
+) -> ResultSet:
     """Join conjunct relations and project onto the rule head.
 
     ``relations[i]`` must be the relation of ``rule.body[i]``.  Returns
-    the set of head tuples (empty tuples for Boolean rules collapse to
-    at most one row, i.e. "true").
+    the head projection as a columnar :class:`ResultSet` (Boolean rules
+    collapse to the 0-ary unit/empty result, i.e. "true"/"false").
     """
     budget = budget or unlimited()
     if order is None:
@@ -209,9 +211,9 @@ def join_rule(
         budget.check_rows(table.shape[0])
         budget.check_time()
         if table.shape[0] == 0:
-            return set()
+            return ResultSet.empty(len(rule.head))
 
     positions = [schema.index(var) for var in rule.head]
     if not positions:
-        return {()}
-    return set(map(tuple, table[:, positions].tolist()))
+        return ResultSet.unit()
+    return ResultSet.from_table(table[:, positions])

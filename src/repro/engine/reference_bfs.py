@@ -22,6 +22,7 @@ from repro.engine.base import Engine
 from repro.engine.budget import EvaluationBudget
 from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import Query, RegularExpression
 
@@ -37,17 +38,20 @@ class ReferenceSparqlEngine(Engine):
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
+    ) -> ResultSet:
         budget = (budget or EvaluationBudget()).start()
-        answers: set[tuple[int, ...]] = set()
+        answers: ResultSet | None = None
         for rule in query.rules:
             relations = [
                 self._regex_relation(conjunct.regex, graph, budget)
                 for conjunct in rule.body
             ]
-            answers |= join_rule(rule, relations, budget)
-            budget.check_rows(len(answers))
-        return answers
+            rule_answers = join_rule(rule, relations, budget)
+            answers = (
+                rule_answers if answers is None else answers.union(rule_answers)
+            )
+            budget.check_rows(answers.count())
+        return answers if answers is not None else ResultSet.empty()
 
     def _regex_relation(
         self,

@@ -17,10 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.columnar import expand_join
-from repro.engine.base import Engine
+from repro.engine.base import Engine, register_engine
 from repro.engine.budget import EvaluationBudget
 from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
+from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import PathExpression, Query, RegularExpression, is_inverse, symbol_base
 
@@ -49,6 +50,7 @@ def _merge_join(left: np.ndarray, right: np.ndarray, budget: EvaluationBudget) -
     )
 
 
+@register_engine
 class PostgresLikeEngine(Engine):
     """Sorted-array relational evaluation with naive SQL recursion."""
 
@@ -60,10 +62,10 @@ class PostgresLikeEngine(Engine):
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> set[tuple[int, ...]]:
+    ) -> ResultSet:
         budget = (budget or EvaluationBudget()).start()
         label_cache: dict[str, np.ndarray] = {}
-        answers: set[tuple[int, ...]] = set()
+        answers: ResultSet | None = None
         for rule in query.rules:
             relations = [
                 _to_relation(
@@ -71,9 +73,12 @@ class PostgresLikeEngine(Engine):
                 )
                 for conjunct in rule.body
             ]
-            answers |= join_rule(rule, relations, budget)
-            budget.check_rows(len(answers))
-        return answers
+            rule_answers = join_rule(rule, relations, budget)
+            answers = (
+                rule_answers if answers is None else answers.union(rule_answers)
+            )
+            budget.check_rows(answers.count())
+        return answers if answers is not None else ResultSet.empty()
 
     # -- relational evaluation -----------------------------------------
 

@@ -18,12 +18,16 @@ from repro.generation.degree_sequences import (
     sample_target_vector,
 )
 from repro.generation.writers import (
+    GRAPH_WRITERS,
+    write_graph,
     write_ntriples,
     write_edge_list,
     write_csv_tables,
 )
 
 __all__ = [
+    "GRAPH_WRITERS",
+    "write_graph",
     "LabeledGraph",
     "GraphStatistics",
     "ReferenceLabeledGraph",

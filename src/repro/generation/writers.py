@@ -5,6 +5,11 @@ languages: N-triples for RDF/SPARQL systems, a whitespace edge list for
 graph engines, and per-predicate CSV tables for relational loading
 (one two-column table per predicate, the standard UCRPQ-over-SQL
 encoding).
+
+Writers resolve by format name through the shared
+:class:`~repro.registry.Registry` (``GRAPH_WRITERS``): the CLI's
+``--format`` flag and :func:`write_graph` both look up there, so new
+serialisations plug in with one ``@GRAPH_WRITERS.register`` decorator.
 """
 
 from __future__ import annotations
@@ -13,12 +18,22 @@ import os
 from typing import IO, Iterable
 
 from repro.generation.graph import LabeledGraph
+from repro.registry import Registry
+
+#: Format name -> ``writer(graph, path) -> count/mapping``.
+GRAPH_WRITERS: Registry = Registry("graph format", error_type=KeyError)
+
+
+def write_graph(graph: LabeledGraph, path: str | os.PathLike, format: str = "edges"):
+    """Serialise ``graph`` in the named format (one of ``GRAPH_WRITERS``)."""
+    return GRAPH_WRITERS[format](graph, path)
 
 
 def _open_for_write(path: str | os.PathLike) -> IO[str]:
     return open(path, "w", encoding="utf-8")
 
 
+@GRAPH_WRITERS.register("ntriples")
 def write_ntriples(
     graph: LabeledGraph,
     path: str | os.PathLike,
@@ -49,6 +64,7 @@ def write_ntriples(
     return written
 
 
+@GRAPH_WRITERS.register("edges")
 def write_edge_list(graph: LabeledGraph, path: str | os.PathLike) -> int:
     """Write ``source label target`` lines; returns the edge count.
 
@@ -66,6 +82,7 @@ def write_edge_list(graph: LabeledGraph, path: str | os.PathLike) -> int:
     return written
 
 
+@GRAPH_WRITERS.register("csv")
 def write_csv_tables(
     graph: LabeledGraph, directory: str | os.PathLike
 ) -> dict[str, str]:

@@ -1,0 +1,147 @@
+"""One generic registry behind every extension point.
+
+The paper keeps gMark query-language independent through its translator
+abstraction (§1.1); this package generalises that idea: engines,
+translators, scenarios, and graph writers are all looked up by name
+through the same :class:`Registry` so new backends plug in without
+touching the callers.  A registry is a read-mostly mapping with
+
+* ``register()`` usable directly (``reg.register("x", obj)``) or as a
+  decorator (``@reg.register("x")`` / bare ``@reg.register`` when the
+  object carries a ``name`` attribute);
+* **aliases** — secondary keys (the paper's P/S/G/D system letters)
+  that resolve but do not appear in the primary listing;
+* helpful errors — unknown keys raise the registry's configured error
+  class with the sorted list of known keys, and duplicate registration
+  fails loudly instead of silently shadowing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, Mapping, TypeVar
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class Registry(Generic[T], Mapping[str, T]):
+    """A named string → object mapping shared by all extension points."""
+
+    def __init__(self, kind: str, *, error_type: type[Exception] = KeyError):
+        #: What the entries are ("engine", "dialect", ...) — used in
+        #: error messages.
+        self.kind = kind
+        self._error_type = error_type
+        self._entries: dict[str, T] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str | T | None = None,
+        value: T = _MISSING,  # type: ignore[assignment]
+        *,
+        aliases: Iterable[str] = (),
+        replace: bool = False,
+    ):
+        """Register ``value`` under ``name`` (direct call or decorator).
+
+        Three forms::
+
+            registry.register("edges", write_edge_list)   # direct
+            @registry.register("edges")                   # named decorator
+            @registry.register                            # bare decorator
+                                                          # (key = obj.name)
+        """
+        if value is not _MISSING:
+            self._add(name, value, aliases, replace)  # type: ignore[arg-type]
+            return value
+        if name is None or isinstance(name, str):
+
+            def decorator(obj: T) -> T:
+                key = name if isinstance(name, str) else self._implicit_name(obj)
+                self._add(key, obj, aliases, replace)
+                return obj
+
+            return decorator
+        # Bare @registry.register on an object with a ``name`` attribute.
+        obj = name
+        self._add(self._implicit_name(obj), obj, aliases, replace)
+        return obj
+
+    def _implicit_name(self, obj) -> str:
+        name = getattr(obj, "name", None)
+        if not isinstance(name, str):
+            raise TypeError(
+                f"cannot infer a {self.kind} key from {obj!r}; pass one "
+                f"explicitly: register(name, value)"
+            )
+        return name
+
+    def _add(self, name: str, value: T, aliases: Iterable[str], replace: bool) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"{self.kind} key must be a non-empty string, got {name!r}")
+        for key in (name, *aliases):
+            if not replace and (key in self._entries or key in self._aliases):
+                raise ValueError(
+                    f"duplicate {self.kind} key {key!r}; pass replace=True "
+                    f"to override the existing registration"
+                )
+        self._entries[name] = value
+        for alias in aliases:
+            self._aliases[alias] = name
+
+    def alias(self, alias: str, name: str) -> None:
+        """Add a secondary key resolving to an existing entry."""
+        if name not in self._entries:
+            raise self._unknown(name)
+        if alias in self._entries or alias in self._aliases:
+            raise ValueError(f"duplicate {self.kind} key {alias!r}")
+        self._aliases[alias] = name
+
+    # -- lookup ---------------------------------------------------------
+
+    def canonical(self, name: str) -> str:
+        """Resolve an alias to its primary key (primary keys pass through)."""
+        if name in self._entries:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise self._unknown(name)
+
+    def __getitem__(self, name: str) -> T:
+        return self._entries[self.canonical(name)]
+
+    def get(self, name: str, default=None):
+        try:
+            return self[name]
+        except self._error_type:
+            return default
+
+    def _unknown(self, name: str) -> Exception:
+        message = (
+            f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+        )
+        if self._aliases:
+            message += f" (aliases: {sorted(self._aliases)})"
+        return self._error_type(message)
+
+    # -- mapping protocol ----------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def aliases(self) -> dict[str, str]:
+        """Alias → primary-key mapping (a copy)."""
+        return dict(self._aliases)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"

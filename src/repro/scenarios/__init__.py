@@ -9,29 +9,28 @@
 * :func:`wd_schema` — **WD**, the gMark encoding of the WatDiv default
   (users and products) schema — deliberately the densest of the four,
   which is what drives its Table 3 generation times.
+
+Scenario schema factories resolve through the shared
+:class:`~repro.registry.Registry`; new scenarios plug in with
+``SCENARIOS.register("name", factory)``.
 """
 
+from repro.registry import Registry
 from repro.scenarios.bib import bib_schema
 from repro.scenarios.lsn import lsn_schema
 from repro.scenarios.sp import sp_schema
 from repro.scenarios.wd import wd_schema
 
-SCENARIOS = {
-    "bib": bib_schema,
-    "lsn": lsn_schema,
-    "sp": sp_schema,
-    "wd": wd_schema,
-}
+SCENARIOS: Registry = Registry("scenario", error_type=KeyError)
+SCENARIOS.register("bib", bib_schema)
+SCENARIOS.register("lsn", lsn_schema)
+SCENARIOS.register("sp", sp_schema)
+SCENARIOS.register("wd", wd_schema)
 
 
 def scenario_schema(name: str):
     """Look up a scenario schema factory by its paper name."""
-    try:
-        return SCENARIOS[name.lower()]()
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
-        ) from None
+    return SCENARIOS[name.lower()]()
 
 
 __all__ = ["bib_schema", "lsn_schema", "sp_schema", "wd_schema",

@@ -1,0 +1,207 @@
+"""The :class:`Session` facade: one object for the whole Fig. 1 loop.
+
+A session binds a graph configuration (schema + size) and a default
+seed, and walks the paper's pipeline on demand — schema → graph →
+workload → translate → evaluate — caching each generated artifact so
+repeated calls (CLI subcommands, benchmark iterations, notebook cells)
+never regenerate work:
+
+>>> session = Session.from_scenario("bib", nodes=10_000, seed=7)
+>>> graph = session.graph()                      # cached per seed
+>>> workload = session.workload(size=20)         # cached per parameters
+>>> sparql = session.translate("sparql", count_distinct=True)
+>>> session.count_distinct("(?x, ?y) <- (?x, authors, ?y)")  # doctest: +SKIP
+
+Every generator accepts an explicit ``seed`` override; omitting it uses
+the session default, so a session is reproducible end to end from its
+constructor arguments.  Evaluation returns the columnar
+:class:`~repro.engine.resultset.ResultSet`, and engines, translators,
+scenarios, and graph writers all resolve through their shared
+:class:`~repro.registry.Registry`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config.xml_io import graph_config_from_xml, graph_config_to_xml
+from repro.engine.budget import EvaluationBudget
+from repro.engine.evaluator import ENGINES, Engine, count_distinct, evaluate_query
+from repro.engine.resultset import ResultSet
+from repro.generation.generator import generate_graph
+from repro.generation.graph import LabeledGraph
+from repro.generation.writers import GRAPH_WRITERS
+from repro.queries.ast import Query
+from repro.queries.generator import generate_workload
+from repro.queries.parser import parse_query
+from repro.queries.workload import Workload, WorkloadConfiguration
+from repro.scenarios import scenario_schema
+from repro.schema.config import GraphConfiguration
+from repro.schema.validate import validate_schema
+from repro.translate import TRANSLATORS
+
+
+class Session:
+    """Cached schema → graph → workload → translate → evaluate driver."""
+
+    def __init__(self, config: GraphConfiguration, *, seed: int | None = None):
+        self.config = config
+        self.seed = seed
+        self._graphs: dict[int | None, LabeledGraph] = {}
+        self._workloads: dict[tuple, Workload] = {}
+        self._queries: dict[str, Query] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_scenario(
+        cls, name: str, nodes: int, *, seed: int | None = None
+    ) -> "Session":
+        """Session over a built-in scenario ('bib', 'lsn', 'sp', 'wd')."""
+        return cls(GraphConfiguration(nodes, scenario_schema(name)), seed=seed)
+
+    @classmethod
+    def from_config_xml(cls, xml: str, *, seed: int | None = None) -> "Session":
+        """Session from a graph-configuration XML document (text)."""
+        return cls(graph_config_from_xml(xml), seed=seed)
+
+    @classmethod
+    def from_config_file(
+        cls, path: str | os.PathLike, *, seed: int | None = None
+    ) -> "Session":
+        """Session from a graph-configuration XML file."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_config_xml(handle.read(), seed=seed)
+
+    # -- schema ---------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.config.schema
+
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    def validate(self):
+        """Schema diagnostics for this configuration (§3 well-formedness)."""
+        return validate_schema(self.schema, self.config.n)
+
+    def config_xml(self) -> str:
+        """The configuration as its declarative XML form."""
+        return graph_config_to_xml(self.config)
+
+    # -- graph ----------------------------------------------------------
+
+    def _seed(self, seed: int | None) -> int | None:
+        return self.seed if seed is None else seed
+
+    def graph(self, seed: int | None = None) -> LabeledGraph:
+        """The generated instance (cached per effective seed)."""
+        effective = self._seed(seed)
+        graph = self._graphs.get(effective)
+        if graph is None:
+            graph = generate_graph(self.config, effective)
+            self._graphs[effective] = graph
+        return graph
+
+    def write_graph(
+        self, path: str | os.PathLike, format: str = "edges", seed: int | None = None
+    ):
+        """Serialise the instance via the writer registry."""
+        return GRAPH_WRITERS[format](self.graph(seed), path)
+
+    # -- workload -------------------------------------------------------
+
+    def workload_configuration(self, size: int = 30, **options) -> WorkloadConfiguration:
+        """A workload configuration bound to this session's graph config."""
+        return WorkloadConfiguration(self.config, size=size, **options)
+
+    def workload(
+        self,
+        size: int = 30,
+        *,
+        seed: int | None = None,
+        configuration: WorkloadConfiguration | None = None,
+        **options,
+    ) -> Workload:
+        """A generated query workload (cached per parameters).
+
+        ``options`` pass through to :class:`WorkloadConfiguration`
+        (``recursion_probability``, ``shapes``, ``query_size``, ...);
+        alternatively hand in a full ``configuration``.
+        """
+        effective = self._seed(seed)
+        key: tuple | None
+        if configuration is not None:
+            key = None
+        else:
+            try:
+                key = (size, effective, tuple(sorted(options.items())))
+                hash(key)
+            except TypeError:
+                key = None
+        if key is not None and key in self._workloads:
+            return self._workloads[key]
+        if configuration is None:
+            configuration = self.workload_configuration(size, **options)
+        workload = generate_workload(configuration, effective)
+        if key is not None:
+            self._workloads[key] = workload
+        return workload
+
+    # -- translation ----------------------------------------------------
+
+    def translate(
+        self,
+        dialect: str,
+        *,
+        count_distinct: bool = False,
+        workload: Workload | None = None,
+        **workload_options,
+    ) -> list[str]:
+        """Translate a workload into one of the registered dialects."""
+        translator = TRANSLATORS[dialect]
+        if workload is None:
+            workload = self.workload(**workload_options)
+        return translator.translate_workload(workload, count_distinct)
+
+    # -- evaluation -----------------------------------------------------
+
+    def query(self, text: str | Query) -> Query:
+        """Parse UCRPQ text (memoized); ``Query`` objects pass through."""
+        if isinstance(text, Query):
+            return text
+        query = self._queries.get(text)
+        if query is None:
+            query = parse_query(text)
+            self._queries[text] = query
+        return query
+
+    def evaluate(
+        self,
+        query: str | Query,
+        engine: str | Engine = "datalog",
+        *,
+        budget: EvaluationBudget | None = None,
+        seed: int | None = None,
+    ) -> ResultSet:
+        """Columnar answers of ``query`` on this session's instance."""
+        return evaluate_query(self.query(query), self.graph(seed), engine, budget)
+
+    def count_distinct(
+        self,
+        query: str | Query,
+        engine: str | Engine = "datalog",
+        *,
+        budget: EvaluationBudget | None = None,
+        seed: int | None = None,
+    ) -> int:
+        """The §7.1 ``count(distinct ?v)`` measurement — array-side."""
+        return count_distinct(self.query(query), self.graph(seed), engine, budget)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.schema.name!r}, n={self.config.n}, "
+            f"seed={self.seed}, engines={sorted(ENGINES)})"
+        )

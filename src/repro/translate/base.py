@@ -3,15 +3,20 @@
 gMark is query-language independent (§1.1): translators are looked up
 by name so new concrete syntaxes can be plugged in without touching the
 generator.  Every translator consumes the UCRPQ AST and produces a
-self-contained query text.
+self-contained query text.  The lookup goes through the shared
+:class:`~repro.registry.Registry`; unknown dialects raise
+:class:`~repro.errors.TranslationError` listing the known ones.
 """
 
 from __future__ import annotations
 
 from repro.errors import TranslationError
 from repro.queries.ast import Query
+from repro.registry import Registry
 
-TRANSLATORS: dict[str, "Translator"] = {}
+TRANSLATORS: Registry["Translator"] = Registry(
+    "dialect", error_type=TranslationError
+)
 
 
 class Translator:
@@ -40,8 +45,7 @@ class Translator:
 
 def register_translator(translator: Translator) -> Translator:
     """Register a translator instance under its name."""
-    TRANSLATORS[translator.name] = translator
-    return translator
+    return TRANSLATORS.register(translator)
 
 
 def translate(
@@ -51,10 +55,4 @@ def translate(
     count_distinct: bool = False,
 ) -> str:
     """Translate ``query`` into ``dialect`` (one of ``TRANSLATORS``)."""
-    try:
-        translator = TRANSLATORS[dialect]
-    except KeyError:
-        raise TranslationError(
-            f"unknown dialect {dialect!r}; available: {sorted(TRANSLATORS)}"
-        ) from None
-    return translator.translate_query(query, query_name, count_distinct)
+    return TRANSLATORS[dialect].translate_query(query, query_name, count_distinct)

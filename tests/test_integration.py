@@ -10,7 +10,7 @@ import pytest
 from repro.analysis.experiments import measure_selectivities, stress_workload
 from repro.analysis.regression import aggregate_alphas
 from repro.config.xml_io import graph_config_from_xml, graph_config_to_xml
-from repro.engine import evaluate_query
+from repro.engine import ResultSet, evaluate_query
 from repro.generation.generator import generate_graph
 from repro.queries.generator import generate_workload
 from repro.queries.size import QuerySize
@@ -43,9 +43,11 @@ class TestFullWorkflow:
             # Translate into every concrete syntax.
             for dialect, translator in TRANSLATORS.items():
                 assert translator.translate_query(generated.query).strip()
-            # And evaluate on the reference engine.
+            # And evaluate on the reference engine: a columnar
+            # ResultSet that still behaves like the seed's set[tuple].
             answers = evaluate_query(generated.query, graph, "datalog")
-            assert isinstance(answers, set)
+            assert isinstance(answers, ResultSet)
+            assert answers == answers.to_set()
 
     def test_selectivity_loop_closes(self, bib, bib_config):
         """Generated constant/linear/quadratic queries measure with

@@ -1,0 +1,517 @@
+"""Columnar result-API tests: ResultSet, Registry, and count paths.
+
+Three pillars of the PR-4 redesign are pinned here:
+
+* **ResultSet semantics** — unit tests of the columnar representations
+  (0/1/2/k-ary), the sorted-key set algebra, and the backward-compat
+  set shim;
+* **engine parity** — a property suite asserting every registered
+  engine's ``ResultSet`` output equals the seed-era ``set[tuple]``
+  answers, oracled by an independent pure-Python relational evaluator
+  on random graphs × regexes (plus generated workloads on a scenario
+  instance);
+* **the aggregate boundary** — ``count_distinct`` must resolve
+  array-side: a probe on the tuple-materialising shim asserts no
+  engine's count path ever builds a Python tuple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ENGINES, ResultSet, count_distinct, evaluate_query
+from repro.engine.reference_bfs import ReferenceSparqlEngine
+from repro.errors import EngineError, TranslationError
+from repro.generation.generator import generate_graph
+from repro.generation.graph import LabeledGraph
+from repro.generation.writers import GRAPH_WRITERS
+from repro.queries.ast import (
+    PathExpression,
+    RegularExpression,
+    binary_path_query,
+    is_inverse,
+    symbol_base,
+)
+from repro.queries.generator import generate_workload
+from repro.queries.parser import parse_query
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.registry import Registry
+from repro.scenarios import SCENARIOS
+from repro.schema.config import GraphConfiguration
+from repro.schema.constraints import proportion
+from repro.schema.distributions import GaussianDistribution, ZipfianDistribution
+from repro.schema.schema import GraphSchema
+from repro.translate import TRANSLATORS
+
+
+# ---------------------------------------------------------------------------
+# ResultSet units
+# ---------------------------------------------------------------------------
+
+
+class TestResultSetConstruction:
+    def test_from_tuples_canonicalises(self):
+        rs = ResultSet([(3, 1), (0, 2), (3, 1)])
+        assert rs.arity == 2
+        assert rs.count() == 2 == len(rs)
+        sources, targets = rs.arrays()
+        assert sources.tolist() == [0, 3] and targets.tolist() == [2, 1]
+
+    def test_from_keys_zero_copy(self):
+        keys = np.array([(1 << 32) | 5, (2 << 32) | 7], dtype=np.int64)
+        rs = ResultSet.from_keys(keys)
+        assert rs.key_array is keys
+        assert rs.to_set() == {(1, 5), (2, 7)}
+
+    def test_from_column_and_table(self):
+        rs1 = ResultSet.from_column(np.array([4, 1, 4]))
+        assert rs1.arity == 1 and rs1.to_set() == {(1,), (4,)}
+        rs3 = ResultSet.from_table(
+            np.array([[1, 2, 3], [1, 2, 3], [0, 0, 0]])
+        )
+        assert rs3.arity == 3 and rs3.count() == 2
+
+    def test_unit_and_empty(self):
+        assert ResultSet.unit().to_set() == {()}
+        assert bool(ResultSet.unit()) and not bool(ResultSet.empty(2))
+        assert ResultSet.empty(1).count() == 0
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSet([(1, 2)], arity=3)
+
+    def test_arrays_are_read_only(self):
+        rs = ResultSet([(1, 2), (3, 4)])
+        for column in rs.arrays():
+            with pytest.raises(ValueError):
+                column[0] = 9
+
+    def test_relation_round_trip(self):
+        from repro.engine.relations import BinaryRelation
+
+        relation = BinaryRelation([(5, 6), (1, 2)])
+        rs = ResultSet.from_relation(relation)
+        assert rs.key_array is relation.key_array  # zero-copy
+        assert rs.to_relation() == relation
+
+
+class TestResultSetAlgebra:
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ([(1, 2), (3, 4)], [(3, 4), (5, 6)]),          # 2-ary
+            ([(1,), (3,)], [(3,), (5,)]),                  # 1-ary
+            ([(1, 2, 3), (4, 5, 6)], [(4, 5, 6), (7, 8, 9)]),  # 3-ary
+        ],
+    )
+    def test_union_difference_match_set_semantics(self, left, right):
+        left_rs, right_rs = ResultSet(left), ResultSet(right)
+        assert left_rs.union(right_rs).to_set() == set(left) | set(right)
+        assert left_rs.difference(right_rs).to_set() == set(left) - set(right)
+
+    def test_union_of_booleans(self):
+        assert ResultSet.unit().union(ResultSet.empty(0)).count() == 1
+        assert ResultSet.empty(0).union(ResultSet.empty(0)).count() == 0
+
+    def test_union_with_same_arity_empty_is_identity(self):
+        rs = ResultSet([(1, 2)])
+        assert rs.union(ResultSet.empty(2)) is rs
+        assert ResultSet.empty(2).union(rs) is rs
+
+    def test_union_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ResultSet([(1, 2)]).union(ResultSet([(1,)]))
+        # ... even when one operand is empty: a silent arity flip in an
+        # accumulator would fail far from the bug site.
+        with pytest.raises(ValueError):
+            ResultSet.empty(2).union(ResultSet([(1,)]))
+        with pytest.raises(ValueError):
+            ResultSet([(1, 2)]).difference(ResultSet.empty(1))
+
+    def test_project(self):
+        rs = ResultSet([(1, 2, 3), (1, 5, 3), (2, 2, 3)])
+        assert rs.project([0]).to_set() == {(1,), (2,)}
+        assert rs.project([0, 2]).to_set() == {(1, 3), (2, 3)}
+        assert rs.project([2, 1, 0]).count() == 3
+        assert rs.project([]).to_set() == {()}
+        with pytest.raises(ValueError):
+            rs.project([3])
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+            max_size=25,
+        ),
+        other=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7)),
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kary_algebra_matches_sets(self, rows, other):
+        """Property: the unique-row kernels agree with Python sets."""
+        mine = ResultSet(rows, arity=3)
+        theirs = ResultSet(other, arity=3)
+        assert mine.union(theirs).to_set() == set(rows) | set(other)
+        assert mine.difference(theirs).to_set() == set(rows) - set(other)
+        assert mine.project([1, 2]).to_set() == {r[1:] for r in rows}
+
+
+class TestResultSetCompatShim:
+    """The seed-era set[tuple] idioms must keep working (deprecation
+    shim: downstream code migrates without semantic change)."""
+
+    def test_equality_against_sets(self):
+        rs = ResultSet([(1, 2), (3, 4)])
+        assert rs == {(1, 2), (3, 4)}
+        assert {(1, 2), (3, 4)} == rs
+        assert rs != {(1, 2)}
+        assert ResultSet([]) == set()
+        assert ResultSet.empty(2) == ResultSet.empty(0)  # empty is empty
+
+    def test_contains(self):
+        rs = ResultSet([(1, 2), (3, 4)])
+        assert (1, 2) in rs and (2, 1) not in rs
+        assert (1,) not in rs and "nope" not in rs and (-1, 2) not in rs
+        assert (7,) in ResultSet([(7,)])
+        assert () in ResultSet.unit() and () not in ResultSet.empty(0)
+        assert (1, 2, 3) in ResultSet([(1, 2, 3)])
+
+    def test_set_operators_via_abc(self):
+        rs = ResultSet([(1, 2), (3, 4)])
+        assert rs <= {(1, 2), (3, 4), (5, 6)}
+        assert {(1, 2)} & rs == {(1, 2)}
+        assert rs | {(5, 6)} == {(1, 2), (3, 4), (5, 6)}
+        assert rs - {(1, 2)} == {(3, 4)}
+
+    def test_iteration_yields_plain_tuples(self):
+        for row in ResultSet([(1, 2)]):
+            assert row == (1, 2)
+            assert all(type(value) is int for value in row)
+
+    def test_count_distinct_equals_seed_len(self):
+        rows = [(1, 2), (1, 2), (3, 4)]
+        rs = ResultSet(rows)
+        assert rs.count() == rs.count_distinct() == len(set(rows))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_direct_registration_and_lookup(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("one", 1)
+        assert reg["one"] == 1 and "one" in reg and len(reg) == 1
+
+    def test_named_decorator(self):
+        reg: Registry = Registry("fn")
+
+        @reg.register("f")
+        def func():
+            return 42
+
+        assert reg["f"] is func and func() == 42
+
+    def test_bare_decorator_uses_name_attribute(self):
+        reg: Registry = Registry("obj")
+
+        class Thing:
+            name = "widget"
+
+        thing = reg.register(Thing())
+        assert reg["widget"] is thing
+
+    def test_duplicate_registration_raises(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("x", 1)
+        with pytest.raises(ValueError, match="duplicate thing key 'x'"):
+            reg.register("x", 2)
+        reg.register("x", 2, replace=True)
+        assert reg["x"] == 2
+
+    def test_unknown_key_error_lists_known_keys(self):
+        reg: Registry[int] = Registry("gadget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(KeyError, match=r"unknown gadget 'gamma'") as exc:
+            reg["gamma"]
+        assert "alpha" in str(exc.value) and "beta" in str(exc.value)
+
+    def test_alias_resolution(self):
+        reg: Registry[int] = Registry("thing")
+        reg.register("long-name", 7, aliases=("L",))
+        assert reg["L"] == 7 and reg.canonical("L") == "long-name"
+        assert "L" in reg and "L" not in list(reg)  # not a primary key
+        with pytest.raises(ValueError):
+            reg.register("L", 8)  # aliases occupy the key space
+
+    def test_custom_error_type(self):
+        reg: Registry[int] = Registry("engine", error_type=EngineError)
+        with pytest.raises(EngineError):
+            reg["nope"]
+
+
+class TestRegistryWiring:
+    """ENGINES, TRANSLATORS, SCENARIOS, and GRAPH_WRITERS all resolve
+    through the one Registry type."""
+
+    def test_all_extension_points_are_registries(self):
+        for registry in (ENGINES, TRANSLATORS, SCENARIOS, GRAPH_WRITERS):
+            assert isinstance(registry, Registry)
+
+    def test_engine_letters_are_aliases(self):
+        assert ENGINES.aliases() == {
+            "P": "postgres", "S": "sparql", "G": "cypher", "D": "datalog"
+        }
+
+    def test_unknown_engine_message(self):
+        with pytest.raises(EngineError, match="postgres"):
+            ENGINES["neo4j"]
+
+    def test_unknown_dialect_message(self):
+        with pytest.raises(TranslationError, match="sparql"):
+            TRANSLATORS["gremlin"]
+
+    def test_unknown_scenario_message(self):
+        with pytest.raises(KeyError, match="bib"):
+            SCENARIOS["tpch"]
+
+    def test_writer_formats(self):
+        assert set(GRAPH_WRITERS) == {"edges", "ntriples", "csv"}
+
+
+# ---------------------------------------------------------------------------
+# Engine parity: ResultSet output == seed set[tuple] answers
+# ---------------------------------------------------------------------------
+
+
+def _tiny_schema() -> GraphSchema:
+    schema = GraphSchema(name="result-parity")
+    schema.add_type("T", proportion(1.0))
+    for label in ("a", "b"):
+        schema.add_edge(
+            "T", "T", label,
+            in_dist=GaussianDistribution(2.0, 1.0),
+            out_dist=ZipfianDistribution(2.5, 2.0),
+        )
+    return schema
+
+
+def _build_graph(n: int, edges: dict[str, list[tuple[int, int]]]) -> LabeledGraph:
+    graph = LabeledGraph(GraphConfiguration(n, _tiny_schema()))
+    for label, pair_list in edges.items():
+        if pair_list:
+            arr = np.asarray(pair_list, dtype=np.int64)
+            graph.add_edges(label, arr[:, 0], arr[:, 1])
+    return graph
+
+
+def _symbol_pairs(edges: dict[str, set[tuple[int, int]]], symbol: str):
+    base = symbol_base(symbol)
+    pairs = edges.get(base, set())
+    if is_inverse(symbol):
+        return {(target, source) for source, target in pairs}
+    return set(pairs)
+
+
+def _compose_sets(left, right):
+    by_source: dict[int, set[int]] = {}
+    for source, target in right:
+        by_source.setdefault(source, set()).add(target)
+    return {
+        (a, c) for a, b in left for c in by_source.get(b, ())
+    }
+
+
+def seed_regex_answers(
+    n: int, edges: dict[str, set[tuple[int, int]]], regex: RegularExpression
+) -> set[tuple[int, int]]:
+    """Independent seed-style oracle: pure-Python set-of-tuples UCRPQ
+    semantics (compose / union / naive closure), no shared code with
+    the columnar engines."""
+    total: set[tuple[int, int]] = set()
+    for path in regex.disjuncts:
+        if path.is_epsilon:
+            relation = {(v, v) for v in range(n)}
+        else:
+            relation = _symbol_pairs(edges, path.symbols[0])
+            for symbol in path.symbols[1:]:
+                relation = _compose_sets(
+                    relation, _symbol_pairs(edges, symbol)
+                )
+        total |= relation
+    if regex.starred:
+        closure = {(v, v) for v in range(n)} | total
+        while True:
+            grown = closure | _compose_sets(closure, total)
+            if grown == closure:
+                break
+            closure = grown
+        total = closure
+    return total
+
+
+N = 20
+_edges = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    min_size=0,
+    max_size=45,
+)
+_symbols = st.sampled_from(["a", "b", "a-", "b-"])
+_paths = st.lists(_symbols, min_size=0, max_size=3).map(
+    lambda s: PathExpression(tuple(s))
+)
+_regexes = st.builds(
+    RegularExpression,
+    st.lists(_paths, min_size=1, max_size=3).map(tuple),
+    st.booleans(),
+)
+# openCypher semantics only coincide with the homomorphic engines when
+# no branch can reuse a physical edge: non-starred, one symbol base per
+# path (a.a or a.b- could revisit the same edge within a match).
+_cypher_safe_paths = st.lists(
+    st.sampled_from(["a", "b", "a-", "b-"]), min_size=0, max_size=2
+).filter(
+    lambda symbols: len({symbol_base(s) for s in symbols}) == len(symbols)
+).map(lambda s: PathExpression(tuple(s)))
+_cypher_safe_regexes = st.builds(
+    RegularExpression,
+    st.lists(_cypher_safe_paths, min_size=1, max_size=2).map(tuple),
+    st.just(False),
+)
+
+HOMOMORPHIC_AND_REFERENCE = ["postgres", "sparql", "datalog", "reference"]
+
+
+def _engine(name: str):
+    if name == "reference":
+        return ReferenceSparqlEngine()
+    return ENGINES[name]
+
+
+class TestEveryEngineMatchesSeedAnswers:
+    @pytest.mark.parametrize("name", HOMOMORPHIC_AND_REFERENCE)
+    @given(a_edges=_edges, b_edges=_edges, regex=_regexes)
+    @settings(max_examples=25, deadline=None)
+    def test_homomorphic_engines(self, name, a_edges, b_edges, regex):
+        """Property: ResultSet rows == the pure-Python seed oracle."""
+        graph = _build_graph(N, {"a": a_edges, "b": b_edges})
+        expected = seed_regex_answers(
+            N, {"a": set(a_edges), "b": set(b_edges)}, regex
+        )
+        result = _engine(name).evaluate(binary_path_query(regex), graph)
+        assert isinstance(result, ResultSet)
+        assert result.to_set() == expected, regex.to_text()
+        assert result.count() == result.count_distinct() == len(expected)
+
+    @given(a_edges=_edges, b_edges=_edges, regex=_cypher_safe_regexes)
+    @settings(max_examples=25, deadline=None)
+    def test_cypher_on_reuse_free_patterns(self, a_edges, b_edges, regex):
+        """G agrees with the seed answers whenever edge-isomorphism
+        cannot bite (no repeated symbol base within a path)."""
+        graph = _build_graph(N, {"a": a_edges, "b": b_edges})
+        expected = seed_regex_answers(
+            N, {"a": set(a_edges), "b": set(b_edges)}, regex
+        )
+        result = ENGINES["cypher"].evaluate(binary_path_query(regex), graph)
+        assert result.to_set() == expected, regex.to_text()
+
+
+@pytest.fixture(scope="module")
+def bib_graph_600():
+    from repro.scenarios import bib_schema
+
+    return generate_graph(GraphConfiguration(600, bib_schema()), seed=11)
+
+
+class TestGeneratedWorkloadParity:
+    @given(seed=st.integers(0, 300))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_workload_resultsets_round_trip(self, bib_graph_600, seed):
+        """Generated workloads: every registered engine returns a
+        ResultSet whose compat surface is self-consistent and (for the
+        homomorphic engines) pairwise equal."""
+        workload = generate_workload(
+            WorkloadConfiguration(
+                bib_graph_600.config,
+                size=2,
+                recursion_probability=0.2,
+                query_size=QuerySize(
+                    conjuncts=(1, 2), disjuncts=(1, 2), length=(1, 3)
+                ),
+            ),
+            seed=seed,
+        )
+        for generated in workload:
+            reference = None
+            for name in ("postgres", "sparql", "datalog"):
+                result = evaluate_query(generated.query, bib_graph_600, name)
+                assert isinstance(result, ResultSet)
+                as_set = result.to_set()
+                assert len(as_set) == result.count() == len(result)
+                assert result == as_set
+                if reference is None:
+                    reference = result
+                else:
+                    assert result == reference, (
+                        name, generated.query.to_text()
+                    )
+
+
+# ---------------------------------------------------------------------------
+# The aggregate boundary: counts never materialise tuples
+# ---------------------------------------------------------------------------
+
+COUNT_QUERIES = [
+    "(?x, ?y) <- (?x, authors, ?y)",
+    "(?x, ?y) <- (?x, (authors.publishedIn + authors.extendedTo), ?y)",
+    "(?x, ?y) <- (?x, (extendedTo)*, ?y)",
+    "(?x) <- (?x, publishedIn, ?y), (?y, heldIn, ?z)",
+    "() <- (?x, heldIn, ?y)",
+]
+
+
+class TestCountDistinctIsColumnar:
+    @pytest.mark.parametrize("name", sorted(ENGINES))
+    def test_no_tuple_materialization_on_count_path(
+        self, bib_graph_600, name, monkeypatch
+    ):
+        """Regression: ``count(distinct ?v)`` resolves via array ops.
+
+        Any call into the tuple-materialising shim (``iter_rows``,
+        ``to_set``) during ``count_distinct`` is a reintroduced seed
+        hot path and fails here.
+        """
+        expected = [
+            count_distinct(parse_query(text), bib_graph_600, name)
+            for text in COUNT_QUERIES
+        ]
+
+        probes: list[str] = []
+
+        def probed_iter_rows(self):
+            probes.append("iter_rows")
+            return iter(())
+
+        monkeypatch.setattr(ResultSet, "iter_rows", probed_iter_rows)
+        monkeypatch.setattr(
+            ResultSet, "to_set", lambda self: probes.append("to_set")
+        )
+
+        counted = [
+            count_distinct(parse_query(text), bib_graph_600, name)
+            for text in COUNT_QUERIES
+        ]
+        assert counted == expected
+        assert probes == [], f"{name} count path materialised tuples"

@@ -1,0 +1,84 @@
+"""Session facade tests: cached artifacts, explicit seeds, pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.config.xml_io import graph_config_from_xml
+from repro.engine import ResultSet
+from repro.errors import TranslationError
+from repro.queries.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    return Session.from_scenario("bib", nodes=500, seed=9)
+
+
+class TestConstruction:
+    def test_from_scenario(self, session):
+        assert session.schema.name == "bib" and session.n == 500
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            Session.from_scenario("tpch", nodes=10)
+
+    def test_from_config_xml_round_trip(self, session):
+        restored = Session.from_config_xml(session.config_xml(), seed=9)
+        assert restored.n == session.n
+        assert restored.schema.edges == session.schema.edges
+
+    def test_validate(self, session):
+        assert not session.validate().errors
+
+
+class TestCachedArtifacts:
+    def test_graph_cached_per_seed(self, session):
+        assert session.graph() is session.graph()
+        other = session.graph(seed=10)
+        assert other is not session.graph()
+        assert other is session.graph(seed=10)
+
+    def test_workload_cached_per_parameters(self, session):
+        workload = session.workload(size=4)
+        assert session.workload(size=4) is workload
+        assert session.workload(size=5) is not workload
+        assert session.workload(size=4, seed=1) is not workload
+
+    def test_query_parse_memoized(self, session):
+        text = "(?x, ?y) <- (?x, authors, ?y)"
+        assert session.query(text) is session.query(text)
+        parsed = parse_query(text)
+        assert session.query(parsed) is parsed
+
+
+class TestPipeline:
+    def test_translate_generated_workload(self, session):
+        texts = session.translate("sparql", size=3, count_distinct=True)
+        assert len(texts) == 3
+        assert all("COUNT" in text and "DISTINCT" in text for text in texts)
+
+    def test_translate_unknown_dialect(self, session):
+        with pytest.raises(TranslationError):
+            session.translate("gremlin", size=1)
+
+    def test_evaluate_returns_resultset(self, session):
+        result = session.evaluate("(?x, ?y) <- (?x, authors, ?y)")
+        assert isinstance(result, ResultSet)
+        assert result.count() == session.count_distinct(
+            "(?x, ?y) <- (?x, authors, ?y)"
+        )
+
+    def test_engines_agree_via_session(self, session):
+        text = "(?x, ?y) <- (?x, authors.publishedIn, ?y)"
+        datalog = session.evaluate(text, "datalog")
+        assert session.evaluate(text, "sparql") == datalog
+        assert session.evaluate(text, "P") == datalog  # paper letter alias
+
+    def test_write_graph_via_registry(self, session, tmp_path):
+        path = tmp_path / "g.txt"
+        written = session.write_graph(path, "edges")
+        assert written == session.graph().edge_count
+        with pytest.raises(KeyError):
+            session.write_graph(tmp_path / "h.txt", "parquet")
