@@ -1,0 +1,229 @@
+"""Workload-generation benchmark: vectorized vs seed-era dict sampler.
+
+PR 5 rewrote the Fig. 6 / §5.2.4 selectivity pipeline on integer-indexed
+arrays: the schema graph carries a CSR adjacency over an interned symbol
+table, ``nb_path`` tables are count matrices memoised per target set and
+extended in place, and the workload generator pre-draws candidate paths
+in vectorized batches (one level-synchronous walk for a whole pool
+refill) instead of one Python walk per attempt.  The seed-era dict
+implementation survives as
+:class:`repro.selectivity.reference_sampler.ReferencePathSampler` — the
+parity oracle (``tests/test_sampler_parity.py``) and this benchmark's
+baseline.
+
+Both sides run the *same* :class:`~repro.queries.generator.
+WorkloadGenerator` end to end (schema graph, skeletons, estimator,
+relaxation); only the sampler differs, and the generator drives the
+reference through the seed-era one-call-per-draw pattern.  The floor
+(≥5× end-to-end at 1000 queries on the bib and sp scenarios) gates the
+rewrite's acceptance.
+
+An informational entry times the chunk-formatted graph writers
+(``generation/writers.py``) against the seed's one-f-string-per-edge
+loop — same satellite, not part of the floor.
+
+Writes ``BENCH_workload_gen.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_workload_gen.py [--smoke]
+
+``--smoke`` generates fewer queries and a smaller instance but still
+enforces the speedup floor (CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+import warnings
+
+import numpy as np
+
+from repro.generation.generator import generate_graph
+from repro.generation.writers import write_edge_list
+from repro.queries.generator import WorkloadGenerator
+from repro.queries.shapes import QueryShape
+from repro.queries.size import QuerySize
+from repro.queries.workload import WorkloadConfiguration
+from repro.scenarios import scenario_schema
+from repro.schema.config import GraphConfiguration
+from repro.selectivity.path_sampler import NbPathOverflowWarning
+from repro.selectivity.reference_sampler import ReferencePathSampler
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_workload_gen.json"
+
+SEED = 7
+SPEEDUP_FLOOR = 5.0
+REPETITIONS = 3
+SCENARIOS = ("bib", "sp")
+
+#: The measured workload shape: a multi-conjunct chain/star mix with
+#: disjunction and recursion, the regime §7's scalability discussion
+#: targets.  Long paths exercise the in-place table extension (and the
+#: int64 overflow fallback on branchy schemas — expected, hence the
+#: warning filter below).
+QUERY_SIZE = QuerySize(conjuncts=(2, 5), disjuncts=(3, 5), length=(2, 10))
+SHAPES = (QueryShape.CHAIN, QueryShape.STAR)
+RECURSION_PROBABILITY = 0.35
+
+
+def _median_time(build, reps: int = REPETITIONS) -> float:
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        build()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def bench_generation(scenario: str, queries: int) -> dict:
+    configuration = WorkloadConfiguration(
+        GraphConfiguration(10_000, scenario_schema(scenario)),
+        size=queries,
+        shapes=SHAPES,
+        recursion_probability=RECURSION_PROBABILITY,
+        query_size=QUERY_SIZE,
+    )
+
+    sizes: dict[str, int] = {}
+
+    def run_vectorized():
+        sizes["vectorized"] = len(
+            WorkloadGenerator(configuration, SEED).generate()
+        )
+
+    def run_reference():
+        sizes["reference"] = len(
+            WorkloadGenerator(
+                configuration, SEED, sampler_factory=ReferencePathSampler
+            ).generate()
+        )
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", NbPathOverflowWarning)
+        vectorized_s = _median_time(run_vectorized)
+        reference_s = _median_time(run_reference)
+    if sizes["vectorized"] != queries or sizes["reference"] != queries:
+        raise AssertionError(f"{scenario}: incomplete workload {sizes}")
+
+    speedup = reference_s / max(vectorized_s, 1e-9)
+    print(
+        f"{scenario:>4} {queries:>5} queries: vectorized {vectorized_s:.3f}s "
+        f"vs reference {reference_s:.3f}s ({speedup:.1f}x)"
+    )
+    return {
+        "scenario": scenario,
+        "queries": queries,
+        "vectorized_s": round(vectorized_s, 4),
+        "reference_s": round(reference_s, 4),
+        "speedup": round(speedup, 2),
+        "in_floor": True,
+    }
+
+
+def _seed_style_write(graph, path) -> int:
+    """The seed writer: one f-string per edge (baseline, bench-local)."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for label in graph.labels():
+            sources, targets = graph.edge_arrays(label)
+            handle.writelines(
+                f"{source} {label} {target}\n"
+                for source, target in zip(sources.tolist(), targets.tolist())
+            )
+            written += len(sources)
+    return written
+
+
+def bench_writers(nodes: int) -> dict:
+    """Informational: chunk-formatted export vs per-edge f-strings."""
+    graph = generate_graph(
+        GraphConfiguration(nodes, scenario_schema("bib")), seed=SEED
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        chunked_path = pathlib.Path(tmp) / "chunked.txt"
+        seed_path = pathlib.Path(tmp) / "seed.txt"
+        chunked_s = _median_time(lambda: write_edge_list(graph, chunked_path))
+        seed_s = _median_time(lambda: _seed_style_write(graph, seed_path))
+        if chunked_path.read_text() != seed_path.read_text():
+            raise AssertionError("chunked writer output differs from seed writer")
+    edge_count = int(
+        np.sum([len(graph.edge_arrays(label)[0]) for label in graph.labels()])
+    )
+    speedup = seed_s / max(chunked_s, 1e-9)
+    print(
+        f"writers {nodes:>7,} nodes ({edge_count:,} edges): chunked "
+        f"{chunked_s:.3f}s vs seed-style {seed_s:.3f}s ({speedup:.1f}x)"
+    )
+    return {
+        "nodes": nodes,
+        "edges": edge_count,
+        "chunked_s": round(chunked_s, 4),
+        "seed_style_s": round(seed_s, 4),
+        "speedup": round(speedup, 2),
+        "in_floor": False,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer queries / smaller instance; still enforces the floor (CI)",
+    )
+    args = parser.parse_args()
+
+    queries = 500 if args.smoke else 1000
+    writer_nodes = 20_000 if args.smoke else 100_000
+
+    results: dict = {
+        "seed": SEED,
+        "smoke": args.smoke,
+        "floor": SPEEDUP_FLOOR,
+        "workload": {
+            "queries": queries,
+            "shapes": [shape.value for shape in SHAPES],
+            "recursion_probability": RECURSION_PROBABILITY,
+            "query_size": repr(QUERY_SIZE),
+        },
+        "generation": [bench_generation(name, queries) for name in SCENARIOS],
+        "writers": bench_writers(writer_nodes),
+    }
+
+    if args.smoke:
+        # Smoke mode must not clobber the tracked full-run artifact.
+        print("smoke mode: artifact not written")
+    else:
+        ARTIFACT.write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {ARTIFACT}")
+
+    failed = [
+        row for row in results["generation"] if row["speedup"] < SPEEDUP_FLOOR
+    ]
+    if failed:
+        for row in failed:
+            print(
+                f"FAIL: {row['scenario']} workload generation speedup "
+                f"{row['speedup']}x < {SPEEDUP_FLOOR}x floor"
+            )
+        return 1
+    print(
+        f"workload generation speedups: "
+        + ", ".join(f"{r['scenario']} {r['speedup']}x" for r in results["generation"])
+        + f" (floor {SPEEDUP_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,6 +207,42 @@ def advance_frontier(
     return fresh, merge_keys(visited, fresh, extra_canonical=True)
 
 
+def segmented_weighted_choice(
+    weights: np.ndarray,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    ends: np.ndarray | None = None,
+) -> np.ndarray:
+    """One weighted draw per segment of a flat weight column.
+
+    ``weights`` concatenates per-segment weight runs of lengths
+    ``counts`` (every segment non-empty with positive total).  Returns
+    the selected *flat* index per segment: one cumulative sum, one
+    uniform draw per segment, and one ``searchsorted`` — the
+    level-synchronous transition step of the batch path walk, where each
+    walker picks its next edge weighted by the ``nb_path`` counts.
+    ``ends`` may pass a precomputed ``np.cumsum(counts)``.
+
+    Segments are normalised to unit total *before* the cumulative sum
+    (one ``reduceat``): a raw running sum across segments of wildly
+    different magnitude (path counts grow exponentially with length)
+    would exhaust float64 resolution and silently collapse small-weight
+    segments onto a single boundary element.  Normalised, the column
+    tops out at the segment count and every segment keeps ~1e-16
+    relative resolution.
+    """
+    if ends is None:
+        ends = np.cumsum(counts)
+    starts = ends - counts
+    weights = np.asarray(weights, dtype=np.float64)
+    totals = np.add.reduceat(weights, starts)
+    cum = np.cumsum(weights / np.repeat(totals, counts))
+    base = np.where(starts > 0, cum[starts - 1], 0.0)
+    points = base + rng.random(counts.size) * (cum[ends - 1] - base)
+    picks = np.searchsorted(cum, points, side="right")
+    return np.minimum(np.maximum(picks, starts), ends - 1)
+
+
 def unique_rows(table: np.ndarray) -> np.ndarray:
     """Lexicographically sorted unique rows of an ``(n, k)`` matrix.
 

@@ -93,6 +93,7 @@ class ClosureRelation:
 
         self._size: int | None = None
         self._targets_cache: dict[int, np.ndarray] = {}
+        self._sorted_targets_cache: dict[int, np.ndarray] = {}
         self._inverse: ClosureRelation | None = None
         self._dag_successors = dag_successors
 
@@ -194,6 +195,23 @@ class ClosureRelation:
             self._targets_cache[component] = cached
         return cached
 
+    def targets_sorted_array(self, source: int) -> np.ndarray:
+        """Reachable nodes as a *sorted* read-only id column.
+
+        The semi-join path of the conjunct joiner probes these with
+        ``searchsorted`` over whole binding-table slices; cached per
+        component like :meth:`targets_of_array`.
+        """
+        if not 0 <= source < self.node_count:
+            return np.empty(0, dtype=np.int64)
+        component = int(self._labels[source])
+        cached = self._sorted_targets_cache.get(component)
+        if cached is None:
+            cached = np.sort(self.targets_of_array(source))
+            cached.setflags(write=False)
+            self._sorted_targets_cache[component] = cached
+        return cached
+
     def __iter__(self) -> Iterator[tuple[int, int]]:
         for source in range(self.node_count):
             for target in self.targets_of_array(source).tolist():
@@ -220,6 +238,7 @@ class ClosureRelation:
             )
             reversed_relation._size = self._size
             reversed_relation._targets_cache = {}
+            reversed_relation._sorted_targets_cache = {}
             reversed_relation._inverse = self
             self._inverse = reversed_relation
         return self._inverse

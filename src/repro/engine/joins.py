@@ -112,6 +112,45 @@ def _extend_vectorized(
     return np.column_stack((table[probe_index], gather[build_index]))
 
 
+def _extend_semijoin(
+    table: np.ndarray,
+    relation,
+    src_pos: int,
+    trg_pos: int,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """Both-bound membership filter against a set-API relation.
+
+    One pass per *distinct source* of the binding table instead of one
+    Python ``in`` check per row: rows are grouped by their source value
+    (a stable argsort), each group probes the relation's sorted target
+    column with a single ``searchsorted`` (``keys_contain_many``), and
+    the surviving rows are selected with one boolean mask.
+    """
+    if table.shape[0] == 0:
+        return table
+    src_col = table[:, src_pos]
+    trg_col = table[:, trg_pos]
+    keep = np.zeros(table.shape[0], dtype=bool)
+    order = np.argsort(src_col, kind="stable")
+    sorted_src = src_col[order]
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_src[1:] != sorted_src[:-1]))
+    )
+    run_ends = np.append(run_starts[1:], sorted_src.size)
+    sorted_targets = getattr(relation, "targets_sorted_array", None)
+    for rs, re_ in zip(run_starts.tolist(), run_ends.tolist()):
+        source = int(sorted_src[rs])
+        if sorted_targets is not None:
+            targets = sorted_targets(source)
+        else:
+            targets = np.sort(relation.targets_of_array(source))
+        group = order[rs:re_]
+        keep[group] = keys_contain_many(targets, trg_col[group])
+        budget.check_time()
+    return table[keep]
+
+
 def _extend_generic(
     table: np.ndarray,
     relation,
@@ -121,6 +160,15 @@ def _extend_generic(
     budget: EvaluationBudget,
 ) -> np.ndarray:
     """Per-row fallback for set-API relations (e.g. ClosureRelation)."""
+    if src_pos is not None and (trg_pos is not None or self_loop):
+        if hasattr(relation, "targets_of_array"):
+            return _extend_semijoin(
+                table,
+                relation,
+                src_pos,
+                src_pos if self_loop else trg_pos,
+                budget,
+            )
     rows = table.tolist()
     new_rows: list[list[int]] = []
     if src_pos is None and trg_pos is None:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import os
 from typing import IO, Iterable
 
+import numpy as np
+
 from repro.generation.graph import LabeledGraph
 from repro.registry import Registry
 
@@ -31,6 +33,50 @@ def write_graph(graph: LabeledGraph, path: str | os.PathLike, format: str = "edg
 
 def _open_for_write(path: str | os.PathLike) -> IO[str]:
     return open(path, "w", encoding="utf-8")
+
+
+#: Rows formatted per chunk by the bulk writers below.
+_CHUNK_ROWS = 1 << 16
+
+
+def _fmt(literal: str) -> str:
+    """Escape a literal fragment for use inside a ``%``-template."""
+    return literal.replace("%", "%%")
+
+
+def _write_pair_lines(
+    handle: IO[str],
+    template: str,
+    first,
+    second,
+) -> None:
+    """Write one ``template % (first, second)`` line per column row.
+
+    ``template`` holds exactly two ``%d`` slots.  Instead of one
+    f-string per edge, whole chunks are formatted with a single ``%``
+    application of the repeated template over the interleaved id
+    columns — an order of magnitude fewer Python-level operations on
+    multi-million-edge exports.
+    """
+    total = len(first)
+    block = template * _CHUNK_ROWS
+    for start in range(0, total, _CHUNK_ROWS):
+        stop = min(start + _CHUNK_ROWS, total)
+        size = stop - start
+        interleaved = np.empty(2 * size, dtype=np.int64)
+        interleaved[0::2] = first[start:stop]
+        interleaved[1::2] = second[start:stop]
+        chunk = block if size == _CHUNK_ROWS else template * size
+        handle.write(chunk % tuple(interleaved.tolist()))
+
+
+def _write_id_lines(handle: IO[str], template: str, start: int, stop: int) -> None:
+    """Write one ``template % id`` line per id in ``[start, stop)``."""
+    block = template * _CHUNK_ROWS
+    for lo in range(start, stop, _CHUNK_ROWS):
+        hi = min(lo + _CHUNK_ROWS, stop)
+        chunk = block if hi - lo == _CHUNK_ROWS else template * (hi - lo)
+        handle.write(chunk % tuple(range(lo, hi)))
 
 
 @GRAPH_WRITERS.register("ntriples")
@@ -50,15 +96,21 @@ def write_ntriples(
     with _open_for_write(path) as handle:
         for type_name, type_range in graph.config.ranges.items():
             type_iri = f"<{namespace}type/{type_name}>"
-            for node in range(type_range.start, type_range.stop):
-                handle.write(f"<{namespace}n{node}> {rdf_type} {type_iri} .\n")
-                written += 1
+            _write_id_lines(
+                handle,
+                f"<{_fmt(namespace)}n%d> {rdf_type} {_fmt(type_iri)} .\n",
+                type_range.start,
+                type_range.stop,
+            )
+            written += type_range.stop - type_range.start
         for label in graph.labels():
             sources, targets = graph.edge_arrays(label)
             predicate = f"<{namespace}p/{label}>"
-            handle.writelines(
-                f"<{namespace}n{source}> {predicate} <{namespace}n{target}> .\n"
-                for source, target in zip(sources.tolist(), targets.tolist())
+            _write_pair_lines(
+                handle,
+                f"<{_fmt(namespace)}n%d> {_fmt(predicate)} <{_fmt(namespace)}n%d> .\n",
+                sources,
+                targets,
             )
             written += len(sources)
     return written
@@ -74,10 +126,7 @@ def write_edge_list(graph: LabeledGraph, path: str | os.PathLike) -> int:
     with _open_for_write(path) as handle:
         for label in graph.labels():
             sources, targets = graph.edge_arrays(label)
-            handle.writelines(
-                f"{source} {label} {target}\n"
-                for source, target in zip(sources.tolist(), targets.tolist())
-            )
+            _write_pair_lines(handle, f"%d {_fmt(label)} %d\n", sources, targets)
             written += len(sources)
     return written
 
@@ -100,10 +149,7 @@ def write_csv_tables(
         sources, targets = graph.edge_arrays(label)
         with _open_for_write(path) as handle:
             handle.write("source,target\n")
-            handle.writelines(
-                f"{source},{target}\n"
-                for source, target in zip(sources.tolist(), targets.tolist())
-            )
+            _write_pair_lines(handle, "%d,%d\n", sources, targets)
         files[label] = path
     return files
 
@@ -116,8 +162,6 @@ def read_edge_list(
     Lines are batched per label and bulk-appended as arrays, so loading
     goes through the same columnar path as generation.
     """
-    import numpy as np
-
     graph = LabeledGraph(config)
     batches: dict[str, tuple[list[int], list[int]]] = {}
     with open(path, encoding="utf-8") as handle:

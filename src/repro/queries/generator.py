@@ -43,7 +43,7 @@ from repro.rng import ensure_rng
 from repro.selectivity.algebra import alpha_of_triple
 from repro.selectivity.estimator import SelectivityEstimator
 from repro.selectivity.path_sampler import PathSampler, SampledPath
-from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+from repro.selectivity.schema_graph import SchemaGraph
 from repro.selectivity.selectivity_graph import SelectivityGraph
 from repro.selectivity.types import SelectivityClass
 
@@ -52,6 +52,13 @@ _MAX_ATTEMPTS = 10
 
 #: Extra length budget the sampler may use when relaxing (§5.2.4).
 _RELAX_MARGIN = 3
+
+#: Pre-drawn path pool refill sizes: a key's first refill draws a small
+#: batch and each refill doubles up to the cap, so hot keys (one per
+#: shape/selectivity combination) amortise to one vectorized draw per
+#: ~retry budget while rarely-hit keys waste almost nothing.
+_POOL_BATCH_MIN = 4
+_POOL_BATCH_MAX = 128
 
 
 @dataclass
@@ -70,18 +77,33 @@ class WorkloadGenerator:
         self,
         configuration: WorkloadConfiguration,
         seed: int | np.random.Generator | None = None,
+        sampler_factory=PathSampler,
     ):
         self.configuration = configuration
         self.schema = configuration.graph.schema
         self.rng = ensure_rng(seed)
         self.schema_graph = SchemaGraph(self.schema)
-        self.sampler = PathSampler(self.schema_graph)
+        self.sampler = sampler_factory(self.schema_graph)
         self.estimator = SelectivityEstimator(self.schema)
         size = configuration.query_size
         self.selectivity_graph = SelectivityGraph(
             self.schema_graph, size.length.lo, size.length.hi
         )
         self._all_nodes = list(self.schema_graph.nodes)
+        self._all_ids = np.arange(len(self.schema_graph), dtype=np.int64)
+        self._start_ids = self.schema_graph.start_ids()
+        self._start_id_by_type: dict[str, np.ndarray] = {}
+        self._class_target_cache: dict[int, np.ndarray] = {}
+        # Pre-drawn path pools: key -> [paths, next_refill_size] (paths
+        # consumed from the end) or None once a key is known infeasible.
+        # Feasibility is a property of the (starts, targets, lengths)
+        # key alone, so an infeasible key stays infeasible for the
+        # whole generation.
+        self._pools: dict[tuple, list | None] = {}
+        self._batch_native = bool(getattr(self.sampler, "batch_native", False))
+        # Block-drawn interval samples (i.i.d., consumed from the end).
+        self._interval_draws: dict[tuple[int, int], list[int]] = {}
+        self._singleton_ids: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -137,7 +159,7 @@ class WorkloadGenerator:
         arity: int,
     ) -> GeneratedQuery | None:
         size = self.configuration.query_size
-        rule_count = size.rules.sample(self.rng)
+        rule_count = self._sample_interval(size.rules)
         rules: list[QueryRule] = []
         head: tuple[str, ...] | None = None
         for _ in range(rule_count):
@@ -158,8 +180,18 @@ class WorkloadGenerator:
         head: tuple[str, ...] | None,
     ) -> tuple[QueryRule, tuple[str, ...]] | None:
         size = self.configuration.query_size
-        conjunct_count = size.conjuncts.sample(self.rng)
-        skeleton = build_skeleton(shape, conjunct_count, self.rng)
+        skeleton = None
+        for _ in range(_MAX_ATTEMPTS):
+            conjunct_count = self._sample_interval(size.conjuncts)
+            candidate = build_skeleton(shape, conjunct_count, self.rng)
+            # Later rules inherit the first rule's head: their skeleton
+            # must actually contain those variables (a small skeleton
+            # can miss a high-numbered head variable — redraw).
+            if head is None or set(head) <= set(candidate.variables):
+                skeleton = candidate
+                break
+        if skeleton is None:
+            return None
 
         controlled = selectivity is not None and arity == 2
         if controlled:
@@ -198,17 +230,104 @@ class WorkloadGenerator:
         return tuple(variables[int(i)] for i in sorted(chosen))
 
     # ------------------------------------------------------------------
+    # pooled path drawing
+    # ------------------------------------------------------------------
+
+    def _pooled_path(
+        self,
+        key: tuple,
+        starts: np.ndarray,
+        targets: np.ndarray,
+        l_min: int,
+        l_max: int,
+        relax_to: int | None,
+    ) -> SampledPath | None:
+        """One draw from a pre-drawn batch pool (refilled on demand).
+
+        Draws are i.i.d. uniform, so handing them out of a batch is
+        statistically identical to sampling one path per call — but a
+        single vectorized batch covers a query's whole retry budget and
+        is shared across every query with the same (shape, selectivity)
+        needs.  Samplers without native batching (the reference oracle)
+        are driven one call per draw, their seed-era pattern.
+        """
+        if not self._batch_native:
+            return self.sampler.sample_path_in_range(
+                starts, targets, l_min, l_max, self.rng, relax_to=relax_to
+            )
+        entry = self._pools.get(key, ())
+        if entry is None:
+            return None
+        if not entry:
+            entry = [[], _POOL_BATCH_MIN]
+            self._pools[key] = entry
+        paths, refill = entry
+        if not paths:
+            paths = self.sampler.sample_paths_in_range(
+                starts, targets, l_min, l_max, refill, self.rng,
+                relax_to=relax_to,
+            )
+            if not paths:
+                self._pools[key] = None
+                return None
+            entry[0] = paths
+            entry[1] = min(refill * 2, _POOL_BATCH_MAX)
+        return paths.pop()
+
+    def _sample_interval(self, interval) -> int:
+        """One draw from a size interval, served from a pre-drawn block.
+
+        Equivalent to ``interval.sample(self.rng)`` (i.i.d. uniform) but
+        one vectorized ``rng.integers`` call per 256 draws.
+        """
+        if interval.lo == interval.hi:
+            return interval.lo
+        key = (interval.lo, interval.hi)
+        block = self._interval_draws.get(key)
+        if not block:
+            block = self.rng.integers(
+                interval.lo, interval.hi + 1, size=256
+            ).tolist()
+            self._interval_draws[key] = block
+        return block.pop()
+
+    def _start_id_of(self, type_name: str) -> np.ndarray:
+        """Dense-id singleton column of one type's start node (cached)."""
+        cached = self._start_id_by_type.get(type_name)
+        if cached is None:
+            cached = self.schema_graph.ids_of(
+                [self.schema_graph.start_node(type_name)]
+            )
+            self._start_id_by_type[type_name] = cached
+        return cached
+
+    def _singleton_id(self, node_id: int) -> np.ndarray:
+        """A cached one-element id column (sampler start/target sets)."""
+        cached = self._singleton_ids.get(node_id)
+        if cached is None:
+            cached = np.array([node_id], dtype=np.int64)
+            self._singleton_ids[node_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # selectivity-controlled chain planning
     # ------------------------------------------------------------------
 
-    def _class_targets(self, selectivity: SelectivityClass) -> list[SchemaGraphNode]:
-        """Schema-graph nodes whose triple realises the requested class."""
+    def _class_target_ids(self, selectivity: SelectivityClass) -> np.ndarray:
+        """Ids of schema-graph nodes realising the requested class."""
         alpha = selectivity.alpha
-        return [
-            node
-            for node in self._all_nodes
-            if alpha_of_triple(node.triple) == alpha
-        ]
+        cached = self._class_target_cache.get(alpha)
+        if cached is None:
+            cached = np.fromiter(
+                (
+                    i
+                    for i, node in enumerate(self._all_nodes)
+                    if alpha_of_triple(node.triple) == alpha
+                ),
+                dtype=np.int64,
+            )
+            self._class_target_cache[alpha] = cached
+        return cached
 
     def _plan_chain(
         self, skeleton: Skeleton, selectivity: SelectivityClass
@@ -222,16 +341,21 @@ class WorkloadGenerator:
         size = self.configuration.query_size
         p_r = self.configuration.recursion_probability
         chain = skeleton.chain
-        star_flags = [bool(self.rng.random() < p_r) for _ in chain]
+        if p_r > 0.0:
+            star_flags = (self.rng.random(len(chain)) < p_r).tolist()
+        else:
+            star_flags = [False] * len(chain)
         walk_count = sum(1 for flag in star_flags if not flag)
 
-        targets = self._class_targets(selectivity)
-        if not targets:
+        targets = self._class_target_ids(selectivity)
+        if targets.size == 0:
             return None
-        starts = self.schema_graph.start_nodes()
+        starts = self._start_ids
 
         if walk_count == 0:
-            main_path = self.sampler.sample_path(starts, targets, 0, self.rng)
+            main_path = self._pooled_path(
+                ("main", selectivity.alpha, 0), starts, targets, 0, 0, None
+            )
             if main_path is None:
                 # No type whose ε-class matches: fall back to one walking
                 # conjunct so at least the path can move (relaxation).
@@ -244,13 +368,13 @@ class WorkloadGenerator:
                     plans[placeholder] = _ConjunctPlan(starred=True, loop_type=anchor)
                 return plans
 
-        main_path = self.sampler.sample_path_in_range(
+        main_path = self._pooled_path(
+            ("main", selectivity.alpha, walk_count),
             starts,
             targets,
             walk_count * size.length.lo,
             walk_count * size.length.hi,
-            self.rng,
-            relax_to=walk_count * size.length.hi + _RELAX_MARGIN,
+            walk_count * size.length.hi + _RELAX_MARGIN,
         )
         if main_path is None:
             return None
@@ -337,19 +461,22 @@ class WorkloadGenerator:
         exists the disjunct budget is simply not spent (relaxation).
         """
         size = self.configuration.query_size
-        disjunct_count = size.disjuncts.sample(self.rng)
+        disjunct_count = self._sample_interval(size.disjuncts)
         paths = [PathExpression(segment.symbols)]
         if disjunct_count > 1 and segment.length > 0:
-            starts = [segment.start]
-            targets = [segment.end]
+            graph = self.schema_graph
+            start_id = graph.node_index(segment.start)
+            end_id = graph.node_index(segment.end)
+            starts = self._singleton_id(start_id)
+            targets = self._singleton_id(end_id)
             for _ in range(disjunct_count - 1):
-                extra = self.sampler.sample_path_in_range(
+                extra = self._pooled_path(
+                    ("pair", start_id, end_id),
                     starts,
                     targets,
                     size.length.lo,
                     size.length.hi,
-                    self.rng,
-                    relax_to=size.length.hi + _RELAX_MARGIN,
+                    size.length.hi + _RELAX_MARGIN,
                 )
                 if extra is None:
                     break
@@ -361,30 +488,29 @@ class WorkloadGenerator:
     def _loop_regex(self, loop_type: str) -> RegularExpression | None:
         """A starred regex looping on ``loop_type`` (recursive conjunct)."""
         size = self.configuration.query_size
-        start = self.schema_graph.start_node(loop_type)
-        targets = [
-            node for node in self._all_nodes if node.type_name == loop_type
-        ]
-        loop = self.sampler.sample_path_in_range(
-            [start],
+        starts = self._start_id_of(loop_type)
+        targets = self.schema_graph.node_ids_of_type(loop_type)
+        key = ("loop", loop_type)
+        loop = self._pooled_path(
+            key,
+            starts,
             targets,
             max(1, size.length.lo),
             size.length.hi,
-            self.rng,
-            relax_to=size.length.hi + _RELAX_MARGIN,
+            size.length.hi + _RELAX_MARGIN,
         )
         if loop is None or loop.length == 0:
             return None
-        disjunct_count = size.disjuncts.sample(self.rng)
+        disjunct_count = self._sample_interval(size.disjuncts)
         paths = [PathExpression(loop.symbols)]
         for _ in range(disjunct_count - 1):
-            extra = self.sampler.sample_path_in_range(
-                [start],
+            extra = self._pooled_path(
+                key,
+                starts,
                 targets,
                 max(1, size.length.lo),
                 size.length.hi,
-                self.rng,
-                relax_to=size.length.hi + _RELAX_MARGIN,
+                size.length.hi + _RELAX_MARGIN,
             )
             if extra is None:
                 break
@@ -445,18 +571,17 @@ class WorkloadGenerator:
     ) -> RegularExpression:
         """Top up an expression with extra disjuncts between fixed types."""
         size = self.configuration.query_size
-        disjunct_count = size.disjuncts.sample(self.rng)
+        disjunct_count = self._sample_interval(size.disjuncts)
         if disjunct_count <= len(expr.disjuncts):
             return expr
-        starts = [self.schema_graph.start_node(source_type)]
-        targets = [
-            node for node in self._all_nodes if node.type_name == target_type
-        ]
+        starts = self._start_id_of(source_type)
+        targets = self.schema_graph.node_ids_of_type(target_type)
         paths = list(expr.disjuncts)
         for _ in range(disjunct_count - len(paths)):
-            extra = self.sampler.sample_path_in_range(
-                starts, targets, size.length.lo, size.length.hi, self.rng,
-                relax_to=size.length.hi + _RELAX_MARGIN,
+            extra = self._pooled_path(
+                ("pad", source_type, target_type),
+                starts, targets, size.length.lo, size.length.hi,
+                size.length.hi + _RELAX_MARGIN,
             )
             if extra is None:
                 break
@@ -469,16 +594,15 @@ class WorkloadGenerator:
         self, source_type: str, target_type: str | None
     ) -> SampledPath | None:
         size = self.configuration.query_size
-        starts = [self.schema_graph.start_node(source_type)]
+        starts = self._start_id_of(source_type)
         if target_type is None:
-            targets = self._all_nodes
+            targets = self._all_ids
         else:
-            targets = [
-                node for node in self._all_nodes if node.type_name == target_type
-            ]
-        return self.sampler.sample_path_in_range(
-            starts, targets, size.length.lo, size.length.hi, self.rng,
-            relax_to=size.length.hi + _RELAX_MARGIN,
+            targets = self.schema_graph.node_ids_of_type(target_type)
+        return self._pooled_path(
+            ("free", source_type, target_type),
+            starts, targets, size.length.lo, size.length.hi,
+            size.length.hi + _RELAX_MARGIN,
         )
 
     def _random_type(self) -> str:

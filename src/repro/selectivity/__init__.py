@@ -14,8 +14,10 @@ The machinery that lets gMark target *constant*, *linear*, or
   (Fig. 8), :mod:`~repro.selectivity.distance` — the distance matrix
   ``D``, :mod:`~repro.selectivity.selectivity_graph` — ``G_sel``
   (Fig. 9);
-* :mod:`~repro.selectivity.path_sampler` — ``nb_path`` saturation and
-  uniform weighted path sampling (§5.2.4);
+* :mod:`~repro.selectivity.path_sampler` — matrix ``nb_path``
+  saturation and uniform batch path sampling (§5.2.4);
+  :mod:`~repro.selectivity.reference_sampler` — the seed-era dict
+  sampler, kept as the parity oracle and benchmark baseline;
 * :mod:`~repro.selectivity.estimator` — selectivity estimation for
   arbitrary binary UCRPQs via the algebra.
 """
@@ -37,7 +39,12 @@ from repro.selectivity.edge_classes import edge_triple, symbol_triples
 from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
 from repro.selectivity.distance import DistanceMatrix
 from repro.selectivity.selectivity_graph import SelectivityGraph
-from repro.selectivity.path_sampler import PathSampler, SampledPath
+from repro.selectivity.path_sampler import (
+    NbPathOverflowWarning,
+    PathSampler,
+    SampledPath,
+)
+from repro.selectivity.reference_sampler import ReferencePathSampler
 from repro.selectivity.estimator import SelectivityEstimator
 
 __all__ = [
@@ -57,6 +64,8 @@ __all__ = [
     "DistanceMatrix",
     "SelectivityGraph",
     "PathSampler",
+    "ReferencePathSampler",
+    "NbPathOverflowWarning",
     "SampledPath",
     "SelectivityEstimator",
 ]

@@ -83,26 +83,45 @@ def normalise(triple: SelectivityTriple) -> SelectivityTriple:
     return triple
 
 
+# The triple domain is tiny (the eight permitted triples plus a few
+# transient unnormalised forms), while the workload generator calls the
+# binary operations millions of times — memoise them.  Error cases are
+# computed fresh so the ValueError contract is untouched.
+_DISJOIN_CACHE: dict[tuple, SelectivityTriple] = {}
+_COMPOSE_CACHE: dict[tuple, SelectivityTriple] = {}
+_ALPHA_CACHE: dict[SelectivityTriple, int] = {}
+
+
 def disjoin(t1: SelectivityTriple, t2: SelectivityTriple) -> SelectivityTriple:
     """Class of ``p1 + p2`` for two classes over the same type pair."""
-    if t1.source is not t2.source or t1.target is not t2.target:
-        raise ValueError(
-            f"disjunction requires matching endpoint types: {t1!r} vs {t2!r}"
+    key = (t1, t2)
+    cached = _DISJOIN_CACHE.get(key)
+    if cached is None:
+        if t1.source is not t2.source or t1.target is not t2.target:
+            raise ValueError(
+                f"disjunction requires matching endpoint types: {t1!r} vs {t2!r}"
+            )
+        cached = normalise(
+            SelectivityTriple(t1.source, disjoin_ops(t1.op, t2.op), t1.target)
         )
-    return normalise(
-        SelectivityTriple(t1.source, disjoin_ops(t1.op, t2.op), t1.target)
-    )
+        _DISJOIN_CACHE[key] = cached
+    return cached
 
 
 def compose(t1: SelectivityTriple, t2: SelectivityTriple) -> SelectivityTriple:
     """Class of ``p1 · p2`` where ``p1`` ends on the type ``p2`` starts."""
-    if t1.target is not t2.source:
-        raise ValueError(
-            f"composition requires t1.target == t2.source: {t1!r} vs {t2!r}"
+    key = (t1, t2)
+    cached = _COMPOSE_CACHE.get(key)
+    if cached is None:
+        if t1.target is not t2.source:
+            raise ValueError(
+                f"composition requires t1.target == t2.source: {t1!r} vs {t2!r}"
+            )
+        cached = normalise(
+            SelectivityTriple(t1.source, compose_ops(t1.op, t2.op), t2.target)
         )
-    return normalise(
-        SelectivityTriple(t1.source, compose_ops(t1.op, t2.op), t2.target)
-    )
+        _COMPOSE_CACHE[key] = cached
+    return cached
 
 
 def star(triple: SelectivityTriple) -> SelectivityTriple:
@@ -123,12 +142,20 @@ def alpha_of_triple(triple: SelectivityTriple) -> int:
     ``(1,=,1) -> 0``; ``(N,×,N) -> 2``; every other permitted triple is
     linear.
     """
-    triple = normalise(triple)
-    if triple.source is Cardinality.ONE and triple.target is Cardinality.ONE:
-        return 0
-    if triple.op is Operation.CROSS:
-        return 2
-    return 1
+    cached = _ALPHA_CACHE.get(triple)
+    if cached is None:
+        normalised = normalise(triple)
+        if (
+            normalised.source is Cardinality.ONE
+            and normalised.target is Cardinality.ONE
+        ):
+            cached = 0
+        elif normalised.op is Operation.CROSS:
+            cached = 2
+        else:
+            cached = 1
+        _ALPHA_CACHE[triple] = cached
+    return cached
 
 
 def identity_triple(cardinality: Cardinality) -> SelectivityTriple:

@@ -1,8 +1,10 @@
 """The distance matrix ``D`` over ``G_S`` (paper §5.2.3 (b)).
 
 ``D[n, n']`` is the length of the shortest label path leading from
-schema-graph node ``n`` to ``n'`` — all-pairs BFS over the (small)
-schema graph.  Query generation consults it to decide whether a
+schema-graph node ``n`` to ``n'`` — computed for all pairs at once by
+level-synchronous boolean matrix passes over the schema graph's dense
+adjacency (one ``bool`` matmul per BFS level instead of a per-origin
+Python BFS).  Query generation consults it to decide whether a
 placeholder of a given length budget can reach a desired selectivity
 node at all, before committing to a skeleton.
 """
@@ -10,7 +12,8 @@ node at all, before committing to a skeleton.
 from __future__ import annotations
 
 import math
-from collections import deque
+
+import numpy as np
 
 from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
 
@@ -20,25 +23,36 @@ class DistanceMatrix:
 
     def __init__(self, schema_graph: SchemaGraph):
         self.schema_graph = schema_graph
-        self._dist: dict[SchemaGraphNode, dict[SchemaGraphNode, int]] = {}
-        for node in schema_graph.nodes:
-            self._dist[node] = self._bfs_from(node)
+        n = len(schema_graph)
+        adjacency = schema_graph.adjacency_counts > 0
+        distances = np.full((n, n), np.inf)
+        if n:
+            np.fill_diagonal(distances, 0.0)
+            reached = np.eye(n, dtype=bool)
+            frontier = reached.copy()
+            level = 0
+            while True:
+                level += 1
+                frontier = (frontier @ adjacency) & ~reached
+                if not frontier.any():
+                    break
+                distances[frontier] = level
+                reached |= frontier
+        distances.setflags(write=False)
+        self._matrix = distances
 
-    def _bfs_from(self, origin: SchemaGraphNode) -> dict[SchemaGraphNode, int]:
-        distances = {origin: 0}
-        queue = deque([origin])
-        while queue:
-            node = queue.popleft()
-            depth = distances[node]
-            for _, successor in self.schema_graph.successors(node):
-                if successor not in distances:
-                    distances[successor] = depth + 1
-                    queue.append(successor)
-        return distances
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense ``(n, n)`` float matrix (``inf`` = unreachable)."""
+        return self._matrix
 
     def distance(self, origin: SchemaGraphNode, destination: SchemaGraphNode) -> float:
         """Shortest path length, or ``math.inf`` when unreachable."""
-        return self._dist.get(origin, {}).get(destination, math.inf)
+        i = self.schema_graph.index_of(origin)
+        j = self.schema_graph.index_of(destination)
+        if i is None or j is None:
+            return math.inf
+        return float(self._matrix[i, j])
 
     def reachable(
         self, origin: SchemaGraphNode, destination: SchemaGraphNode, max_length: int
@@ -50,11 +64,12 @@ class DistanceMatrix:
         self, origin: SchemaGraphNode, max_length: int
     ) -> list[SchemaGraphNode]:
         """All nodes at distance <= ``max_length`` from ``origin``."""
-        return [
-            node
-            for node, depth in self._dist.get(origin, {}).items()
-            if depth <= max_length
-        ]
+        i = self.schema_graph.index_of(origin)
+        if i is None:
+            return []
+        nodes = self.schema_graph.nodes
+        within = np.flatnonzero(self._matrix[i] <= max_length)
+        return [nodes[int(j)] for j in within]
 
     def __repr__(self) -> str:
-        return f"DistanceMatrix({len(self._dist)} origins)"
+        return f"DistanceMatrix({self._matrix.shape[0]} origins)"

@@ -45,12 +45,22 @@ def _disjoin_maps(left: ClassMap, right: ClassMap) -> ClassMap:
     return merged
 
 
-def _compose_maps(left: ClassMap, right: ClassMap) -> ClassMap:
-    """``sel(p1·p2) = Σ_C sel_{A,C}(p1) · sel_{C,B}(p2)`` (§5.2.2)."""
-    out: ClassMap = {}
+def _group_by_source(right: ClassMap) -> dict[str, list[tuple[str, SelectivityTriple]]]:
     by_source: dict[str, list[tuple[str, SelectivityTriple]]] = {}
     for (c, b), triple in right.items():
         by_source.setdefault(c, []).append((b, triple))
+    return by_source
+
+
+def _compose_maps(
+    left: ClassMap,
+    right: ClassMap,
+    by_source: dict[str, list[tuple[str, SelectivityTriple]]] | None = None,
+) -> ClassMap:
+    """``sel(p1·p2) = Σ_C sel_{A,C}(p1) · sel_{C,B}(p2)`` (§5.2.2)."""
+    out: ClassMap = {}
+    if by_source is None:
+        by_source = _group_by_source(right)
     for (a, c), t1 in left.items():
         for b, t2 in by_source.get(c, []):
             candidate = compose(t1, t2)
@@ -68,15 +78,35 @@ class SelectivityEstimator:
     def __init__(self, schema: GraphSchema):
         self.schema = schema
         self._symbol_maps: dict[str, ClassMap] = {}
+        self._identity_map: ClassMap | None = None
+        # The AST is frozen/hashable, so class maps memoise per
+        # expression: the workload generator's retry loop estimates the
+        # same regexes over and over, and every cached map is shared
+        # read-only (all map algebra builds fresh dicts).
+        self._path_maps: dict[tuple[str, ...], ClassMap] = {}
+        self._regex_maps: dict[RegularExpression, ClassMap] = {}
+        # by-source groupings of cached maps, keyed by object identity
+        # (the stored reference keeps the id stable).
+        self._by_source_cache: dict[int, tuple[ClassMap, dict]] = {}
+
+    def _by_source(self, right: ClassMap) -> dict:
+        """Cached source-grouped view of a memoised map (compose input)."""
+        entry = self._by_source_cache.get(id(right))
+        if entry is None or entry[0] is not right:
+            entry = (right, _group_by_source(right))
+            self._by_source_cache[id(right)] = entry
+        return entry[1]
 
     # -- building blocks ------------------------------------------------
 
     def identity_map(self) -> ClassMap:
         """``sel_{A,A}(ε) = (Type(A), =, Type(A))`` for every type."""
-        return {
-            (t, t): identity_triple(type_cardinality(self.schema, t))
-            for t in self.schema.type_names
-        }
+        if self._identity_map is None:
+            self._identity_map = {
+                (t, t): identity_triple(type_cardinality(self.schema, t))
+                for t in self.schema.type_names
+            }
+        return self._identity_map
 
     def symbol_map(self, symbol: str) -> ClassMap:
         """Triples of a single symbol in ``Sigma±`` (cached)."""
@@ -90,11 +120,26 @@ class SelectivityEstimator:
         return cached
 
     def path_map(self, path: PathExpression) -> ClassMap:
-        """Map of a concatenation of symbols (ε → identity map)."""
-        current = self.identity_map()
-        for symbol in path.symbols:
-            current = _compose_maps(current, self.symbol_map(symbol))
-        return current
+        """Map of a concatenation of symbols (ε → identity map).
+
+        Cached per symbol *prefix*, so two paths sharing a prefix — the
+        workload generator's disjunct and retry draws constantly revisit
+        the same path families — compose only their differing tails.
+        """
+        return self._prefix_map(path.symbols)
+
+    def _prefix_map(self, symbols: tuple[str, ...]) -> ClassMap:
+        cached = self._path_maps.get(symbols)
+        if cached is None:
+            if symbols:
+                last = self.symbol_map(symbols[-1])
+                cached = _compose_maps(
+                    self._prefix_map(symbols[:-1]), last, self._by_source(last)
+                )
+            else:
+                cached = self.identity_map()
+            self._path_maps[symbols] = cached
+        return cached
 
     def regex_map(self, regex: RegularExpression) -> ClassMap:
         """Map of a full regular expression.
@@ -104,18 +149,22 @@ class SelectivityEstimator:
         (``sel_{A,A}(p*) = sel_{A,A}(p)·sel_{A,A}(p)``); since ``p*``
         also matches ε, the identity map is disjoined in, which is what
         makes a bare star at least linear while keeping the closure of a
-        ``(N,◇,N)`` relation quadratic.
+        ``(N,◇,N)`` relation quadratic.  Cached per expression.
         """
+        cached = self._regex_maps.get(regex)
+        if cached is not None:
+            return cached
         merged: ClassMap = {}
         for path in regex.disjuncts:
             merged = _disjoin_maps(merged, self.path_map(path))
-        if not regex.starred:
-            return merged
-        starred: ClassMap = {}
-        for (a, b), triple in merged.items():
-            if a == b:
-                starred[(a, b)] = compose(triple, triple)
-        return _disjoin_maps(self.identity_map(), starred)
+        if regex.starred:
+            starred: ClassMap = {}
+            for (a, b), triple in merged.items():
+                if a == b:
+                    starred[(a, b)] = compose(triple, triple)
+            merged = _disjoin_maps(self.identity_map(), starred)
+        self._regex_maps[regex] = merged
+        return merged
 
     # -- queries ---------------------------------------------------------
 
@@ -140,7 +189,8 @@ class SelectivityEstimator:
             return None
         current = self.identity_map()
         for regex in chain:
-            current = _compose_maps(current, self.regex_map(regex))
+            step = self.regex_map(regex)
+            current = _compose_maps(current, step, self._by_source(step))
             if not current:
                 return None
         return current

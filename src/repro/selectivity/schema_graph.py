@@ -9,11 +9,25 @@ A walk in ``G_S`` therefore tracks, simultaneously, the *type* reached by
 a label path and the *selectivity class* of the binary query defined by
 that path — which is exactly what the placeholder-instantiation step of
 query generation needs.
+
+The graph is stored twice over the same edge set:
+
+* **object view** — :class:`SchemaGraphNode` dataclasses with
+  ``successors(node) -> [(symbol, node), ...]`` lists, the form the
+  paper-facing tests and the retained reference sampler speak;
+* **indexed view** — dense node ids with a CSR adjacency
+  (``succ_indptr`` / ``succ_node_ids`` / ``succ_symbol_ids`` ``int64``
+  columns over an interned symbol table) plus the dense labeled-edge
+  count matrix ``adjacency_counts``, the form every vectorized pass
+  (``nb_path`` saturation, batch walks, distance matrix, ``G_sel``)
+  runs on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.schema.schema import GraphSchema
 from repro.selectivity.algebra import compose, identity_triple, permitted_triples
@@ -37,17 +51,14 @@ class SchemaGraph:
 
     The graph is finite and small: ``|Theta| × |permitted triples|``
     nodes at most (the paper notes eight permitted triples), so it is
-    fully materialised eagerly at construction.
+    fully materialised eagerly at construction, object and indexed
+    views alike.
     """
 
     def __init__(self, schema: GraphSchema):
         self.schema = schema
         self.nodes: list[SchemaGraphNode] = self._build_nodes()
         self._index = {node: i for i, node in enumerate(self.nodes)}
-        # adjacency: node -> list of (symbol, successor node)
-        self._succ: dict[SchemaGraphNode, list[tuple[str, SchemaGraphNode]]] = {
-            node: [] for node in self.nodes
-        }
         self._build_edges()
 
     def _build_nodes(self) -> list[SchemaGraphNode]:
@@ -65,7 +76,13 @@ class SchemaGraph:
             symbol: symbol_triples(self.schema, symbol)
             for symbol in all_symbols(self.schema)
         }
-        for node in self.nodes:
+        self.symbols: tuple[str, ...] = tuple(per_symbol)
+        symbol_ids = {symbol: i for i, symbol in enumerate(self.symbols)}
+
+        n = len(self.nodes)
+        edge_targets: list[list[int]] = [[] for _ in range(n)]
+        edge_symbols: list[list[int]] = [[] for _ in range(n)]
+        for node_id, node in enumerate(self.nodes):
             for symbol, triples in per_symbol.items():
                 for (source_type, target_type), step_triple in triples.items():
                     if source_type != node.type_name:
@@ -74,9 +91,37 @@ class SchemaGraph:
                         extended = compose(node.triple, step_triple)
                     except ValueError:
                         continue
-                    successor = SchemaGraphNode(target_type, extended)
-                    if successor in self._index:
-                        self._succ[node].append((symbol, successor))
+                    successor = self._index.get(
+                        SchemaGraphNode(target_type, extended)
+                    )
+                    if successor is not None:
+                        edge_targets[node_id].append(successor)
+                        edge_symbols[node_id].append(symbol_ids[symbol])
+
+        # CSR columns over dense node ids.
+        degrees = np.fromiter(
+            (len(row) for row in edge_targets), dtype=np.int64, count=n
+        )
+        self.succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.succ_indptr[1:])
+        flat_targets = [t for row in edge_targets for t in row]
+        flat_symbols = [s for row in edge_symbols for s in row]
+        self.succ_node_ids = np.asarray(flat_targets, dtype=np.int64)
+        self.succ_symbol_ids = np.asarray(flat_symbols, dtype=np.int64)
+        for arr in (self.succ_indptr, self.succ_node_ids, self.succ_symbol_ids):
+            arr.setflags(write=False)
+
+        # Dense labeled-edge count matrix: counts[i, j] = number of
+        # symbols stepping i -> j.  One int64 matvec per nb_path level.
+        counts = np.zeros((n, n), dtype=np.int64)
+        if self.succ_node_ids.size:
+            sources = np.repeat(np.arange(n), degrees)
+            np.add.at(counts, (sources, self.succ_node_ids), 1)
+        counts.setflags(write=False)
+        self.adjacency_counts = counts
+
+        self._succ_cache: dict[int, list[tuple[str, SchemaGraphNode]]] = {}
+        self._node_ids_by_type: dict[str, np.ndarray] = {}
 
     # -- navigation ---------------------------------------------------
 
@@ -89,13 +134,64 @@ class SchemaGraph:
         """Start nodes of every type (the ``(?, =, ?)`` nodes of §5.2.4)."""
         return [self.start_node(t) for t in self.schema.type_names]
 
+    def start_ids(self) -> np.ndarray:
+        """Dense ids of every type's start node."""
+        return self.ids_of(self.start_nodes())
+
     def successors(self, node: SchemaGraphNode) -> list[tuple[str, SchemaGraphNode]]:
         """Outgoing ``(symbol, node)`` edges; empty for unknown nodes."""
-        return self._succ.get(node, [])
+        node_id = self._index.get(node)
+        if node_id is None:
+            return []
+        cached = self._succ_cache.get(node_id)
+        if cached is None:
+            lo = int(self.succ_indptr[node_id])
+            hi = int(self.succ_indptr[node_id + 1])
+            cached = [
+                (self.symbols[int(s)], self.nodes[int(t)])
+                for s, t in zip(self.succ_symbol_ids[lo:hi], self.succ_node_ids[lo:hi])
+            ]
+            self._succ_cache[node_id] = cached
+        return cached
 
     def node_index(self, node: SchemaGraphNode) -> int:
         """Dense index of a node (used by the distance matrix)."""
         return self._index[node]
+
+    def index_of(self, node: SchemaGraphNode) -> int | None:
+        """Dense index of a node, or None for unknown nodes."""
+        return self._index.get(node)
+
+    def ids_of(self, nodes) -> np.ndarray:
+        """Dense-id column of a node sequence (id arrays pass through).
+
+        Unknown nodes are dropped — they carry zero weight in every
+        sampler table, so omitting them matches the dict oracle's
+        ``.get(node, 0)`` semantics instead of raising.
+        """
+        if isinstance(nodes, np.ndarray):
+            return nodes
+        index = self._index
+        return np.fromiter(
+            (i for i in (index.get(node) for node in nodes) if i is not None),
+            dtype=np.int64,
+        )
+
+    def node_ids_of_type(self, type_name: str) -> np.ndarray:
+        """Dense ids of every node of one schema type (cached)."""
+        cached = self._node_ids_by_type.get(type_name)
+        if cached is None:
+            cached = np.fromiter(
+                (
+                    i
+                    for i, node in enumerate(self.nodes)
+                    if node.type_name == type_name
+                ),
+                dtype=np.int64,
+            )
+            cached.setflags(write=False)
+            self._node_ids_by_type[type_name] = cached
+        return cached
 
     def __contains__(self, node: SchemaGraphNode) -> bool:
         return node in self._index
@@ -105,7 +201,7 @@ class SchemaGraph:
 
     @property
     def edge_count(self) -> int:
-        return sum(len(edges) for edges in self._succ.values())
+        return int(self.succ_node_ids.size)
 
     def __repr__(self) -> str:
         return f"SchemaGraph({len(self)} nodes, {self.edge_count} edges)"

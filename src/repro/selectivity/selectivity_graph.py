@@ -10,6 +10,8 @@ label paths are drawn.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.selectivity.distance import DistanceMatrix
 from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
 
@@ -21,8 +23,9 @@ class SelectivityGraph:
     distance: a path of length within ``[l_min, l_max]`` must exist.
     Because ``G_S`` may be acyclic in places, ``shortest <= l_max`` alone
     would be wrong when the shortest path is *shorter* than ``l_min`` and
-    cannot be padded; we therefore count exact-length reachability up to
-    ``l_max`` with a small dynamic program.
+    cannot be padded; exact-length reachability is therefore accumulated
+    as boolean matrix powers of the dense adjacency — one ``bool``
+    matmul per length instead of the seed's per-node set unions.
     """
 
     def __init__(self, schema_graph: SchemaGraph, l_min: int, l_max: int):
@@ -32,42 +35,51 @@ class SelectivityGraph:
         self.l_min = l_min
         self.l_max = l_max
         self.distance_matrix = DistanceMatrix(schema_graph)
-        self._succ: dict[SchemaGraphNode, set[SchemaGraphNode]] = {
-            node: set() for node in schema_graph.nodes
-        }
-        self._build()
+        n = len(schema_graph)
+        adjacency = schema_graph.adjacency_counts > 0
+        edges = np.zeros((n, n), dtype=bool)
+        if n:
+            # current[i, j] == True iff an exact length-``power`` path
+            # i -> j exists; the union over powers in [l_min, l_max] is
+            # the G_sel edge set.
+            current = np.eye(n, dtype=bool)
+            for power in range(1, l_max + 1):
+                current = current @ adjacency
+                if power >= l_min:
+                    edges |= current
+            if l_min == 0:
+                edges |= np.eye(n, dtype=bool)
+        edges.setflags(write=False)
+        self._matrix = edges
+        self._succ_cache: dict[int, set[SchemaGraphNode]] = {}
 
-    def _build(self) -> None:
-        # reachable[i][n] = set of nodes reachable from n by an exact
-        # length-i path; we accumulate union over i in [l_min, l_max].
-        current: dict[SchemaGraphNode, set[SchemaGraphNode]] = {
-            node: {node} for node in self.schema_graph.nodes
-        }
-        for length in range(1, self.l_max + 1):
-            nxt: dict[SchemaGraphNode, set[SchemaGraphNode]] = {}
-            for node in self.schema_graph.nodes:
-                reached: set[SchemaGraphNode] = set()
-                for _, successor in self.schema_graph.successors(node):
-                    reached |= current.get(successor, set())
-                nxt[node] = reached
-            current = nxt
-            if length >= self.l_min:
-                for node, reached in current.items():
-                    self._succ[node] |= reached
-        if self.l_min == 0:
-            for node in self.schema_graph.nodes:
-                self._succ[node].add(node)
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense boolean ``(n, n)`` edge matrix of ``G_sel``."""
+        return self._matrix
 
     def successors(self, node: SchemaGraphNode) -> set[SchemaGraphNode]:
         """Nodes reachable by a legal-length path (``G_sel`` edges)."""
-        return self._succ.get(node, set())
+        i = self.schema_graph.index_of(node)
+        if i is None:
+            return set()
+        cached = self._succ_cache.get(i)
+        if cached is None:
+            nodes = self.schema_graph.nodes
+            cached = {nodes[int(j)] for j in np.flatnonzero(self._matrix[i])}
+            self._succ_cache[i] = cached
+        return cached
 
     def has_edge(self, origin: SchemaGraphNode, destination: SchemaGraphNode) -> bool:
-        return destination in self._succ.get(origin, set())
+        i = self.schema_graph.index_of(origin)
+        j = self.schema_graph.index_of(destination)
+        if i is None or j is None:
+            return False
+        return bool(self._matrix[i, j])
 
     @property
     def edge_count(self) -> int:
-        return sum(len(s) for s in self._succ.values())
+        return int(self._matrix.sum())
 
     def __repr__(self) -> str:
         return (

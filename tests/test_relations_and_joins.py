@@ -154,6 +154,37 @@ class TestJoins:
         assert join_rule(rule, [BinaryRelation([(0, 1)])]) == {()}
         assert join_rule(rule, [BinaryRelation()]) == set()
 
+    def test_semijoin_on_empty_table(self):
+        """The set-API membership branch tolerates 0-row binding tables."""
+        import numpy as np
+
+        from repro.engine.budget import unlimited
+        from repro.engine.closure import ClosureRelation
+        from repro.engine.joins import _extend_semijoin
+
+        closure = ClosureRelation(BinaryRelation({(0, 1)}), 3)
+        empty = np.zeros((0, 3), dtype=np.int64)
+        out = _extend_semijoin(empty, closure, 0, 2, unlimited())
+        assert out.shape == (0, 3)
+
+    def test_semijoin_matches_per_row_membership(self):
+        """Vectorized both-bound filter == per-row ``in`` on a closure."""
+        import numpy as np
+
+        from repro.engine.budget import unlimited
+        from repro.engine.closure import ClosureRelation
+        from repro.engine.joins import _extend_semijoin
+
+        rng = np.random.default_rng(0)
+        pairs = {(int(a), int(b)) for a, b in rng.integers(0, 30, size=(80, 2))}
+        closure = ClosureRelation(BinaryRelation(pairs), 30)
+        table = rng.integers(0, 30, size=(200, 3)).astype(np.int64)
+        out = _extend_semijoin(table, closure, 0, 2, unlimited())
+        expected = [
+            row for row in table.tolist() if (row[0], row[2]) in closure
+        ]
+        assert out.tolist() == expected
+
 
 class TestBudget:
     def test_timeout_check(self):
