@@ -1,0 +1,167 @@
+"""G-engine evaluation micro-benchmark: binding-table join vs backtracker.
+
+Measures, per instance size, the openCypher-like (G) engine's
+evaluation time for three conjunctive pattern shapes on the bib
+scenario:
+
+* **chain** — a 3-step path through distinct predicates;
+* **star** — three steps fanning out of one shared variable;
+* **cycle** — a 4-cycle of co-authorship steps (inverse symbols close
+  the loop in the DAG-shaped bib schema), where the packed edge-key
+  masking does real work;
+
+for both the **columnar** engine (whole-table binding-table extensions,
+``repro/engine/isomorphic.py``) and the retained **reference** engine
+(the seed's per-assignment backtracker,
+``repro/engine/reference_isomorphic.py``).  Answer sets are asserted
+identical on every run, so the speedup is parity-checked by
+construction.
+
+Writes the ``BENCH_iso_eval.json`` artifact at the repository root so
+the perf trajectory is tracked across PRs, and exits non-zero if the
+median speedup falls below the acceptance floor (≥5× on every shape at
+the floor size).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_iso_eval.py [--smoke]
+
+``--smoke`` runs a small instance only and keeps the floor check (CI
+smoke); the default measures 50k nodes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.engine.budget import unlimited
+from repro.engine.isomorphic import CypherLikeEngine
+from repro.engine.reference_isomorphic import ReferenceCypherEngine
+from repro.session import Session
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_iso_eval.json"
+
+SEED = 7
+SPEEDUP_FLOOR = 5.0
+REPETITIONS = 3
+
+#: Shape -> UCRPQ text (bib scenario predicates).
+SHAPES = {
+    "chain": (
+        "(?x, ?w) <- (?x, authors, ?y), (?y, publishedIn, ?z), "
+        "(?z, heldIn, ?w)"
+    ),
+    "star": (
+        "(?r, ?c, ?j) <- (?p, publishedIn, ?c), (?p, extendedTo, ?j), "
+        "(?r, authors, ?p)"
+    ),
+    "cycle": (
+        "(?x, ?y) <- (?x, authors, ?p), (?p, authors-, ?y), "
+        "(?y, authors, ?q), (?q, authors-, ?x)"
+    ),
+}
+
+
+def _median_time(engine, query, graph) -> tuple[float, object]:
+    times = []
+    answers = None
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        # unlimited(): the backtracker must not trip the default 60 s
+        # timeout at the larger sizes.
+        answers = engine.evaluate(query, graph, unlimited())
+        times.append(time.perf_counter() - started)
+    return statistics.median(times), answers
+
+
+def run(sizes: list[int]) -> dict:
+    columnar = CypherLikeEngine()
+    reference = ReferenceCypherEngine()
+    results: dict = {"seed": SEED, "sizes": sizes, "shapes": {}}
+    floor_size = min(sizes)
+    worst_at_floor = float("inf")
+
+    # One session per size: every shape reuses the cached instance.
+    sessions = {
+        n: Session.from_scenario("bib", nodes=n, seed=SEED) for n in sizes
+    }
+    for shape, text in SHAPES.items():
+        rows = []
+        for n in sizes:
+            session = sessions[n]
+            query = session.query(text)
+            graph = session.graph()
+            columnar_s, columnar_answers = _median_time(columnar, query, graph)
+            reference_s, reference_answers = _median_time(
+                reference, query, graph
+            )
+            if columnar_answers != reference_answers:
+                raise AssertionError(
+                    f"{shape}@{n}: columnar and reference answers diverge "
+                    f"({len(columnar_answers)} vs {len(reference_answers)})"
+                )
+            speedup = reference_s / max(columnar_s, 1e-9)
+            rows.append(
+                {
+                    "nodes": n,
+                    "query": text,
+                    "columnar_s": round(columnar_s, 5),
+                    "reference_s": round(reference_s, 5),
+                    "speedup": round(speedup, 2),
+                    "answers": len(columnar_answers),
+                }
+            )
+            if n == floor_size:
+                worst_at_floor = min(worst_at_floor, speedup)
+            print(
+                f"{shape:>6} n={n:>7,}: columnar {columnar_s:.4f}s vs "
+                f"reference {reference_s:.4f}s ({speedup:.1f}x, "
+                f"{len(columnar_answers):,} answers)"
+            )
+        results["shapes"][shape] = rows
+
+    results["floor_size"] = floor_size
+    results["worst_speedup_at_floor_size"] = round(worst_at_floor, 2)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance only; still enforces the speedup floor (CI)",
+    )
+    args = parser.parse_args()
+
+    sizes = [5_000] if args.smoke else [50_000]
+    results = run(sizes)
+    results["smoke"] = args.smoke
+
+    if args.smoke:
+        # Smoke mode must not clobber the tracked full-run artifact.
+        print("smoke mode: artifact not written")
+    else:
+        ARTIFACT.write_text(
+            json.dumps(results, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {ARTIFACT}")
+
+    worst = results["worst_speedup_at_floor_size"]
+    if worst < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: worst shape speedup {worst}x at "
+            f"{results['floor_size']:,} nodes < {SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

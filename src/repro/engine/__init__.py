@@ -32,6 +32,7 @@ from repro.engine.bfs import SparqlLikeEngine
 from repro.engine.frontier import frontier_reachable, frontier_regex_relation
 from repro.engine.reference_bfs import ReferenceSparqlEngine
 from repro.engine.isomorphic import CypherLikeEngine
+from repro.engine.reference_isomorphic import ReferenceCypherEngine
 from repro.engine.evaluator import (
     ENGINES,
     Engine,
@@ -57,6 +58,7 @@ __all__ = [
     "frontier_regex_relation",
     "frontier_reachable",
     "CypherLikeEngine",
+    "ReferenceCypherEngine",
     "ENGINES",
     "Engine",
     "engine_by_name",

@@ -212,6 +212,31 @@ class ClosureRelation:
             self._sorted_targets_cache[component] = cached
         return cached
 
+    def loop_array(self) -> np.ndarray:
+        """Nodes with a ``(v, v)`` pair — all of them (R* is reflexive)."""
+        return np.arange(self.node_count, dtype=np.int64)
+
+    def pair_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialised ``(sources, targets)`` columns of the closure.
+
+        One ``repeat``/``tile`` assembly per SCC (every member of a
+        component shares one target column), so the cost is linear in
+        the output — callers charge the budget with ``len(self)``
+        *before* asking for the materialisation.
+        """
+        source_chunks: list[np.ndarray] = []
+        target_chunks: list[np.ndarray] = []
+        for members in self._members:
+            if members.size == 0:
+                continue
+            targets = self.targets_of_array(int(members[0]))
+            source_chunks.append(np.repeat(members, targets.size))
+            target_chunks.append(np.tile(targets, members.size))
+        if not source_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(source_chunks), np.concatenate(target_chunks)
+
     def __iter__(self) -> Iterator[tuple[int, int]]:
         for source in range(self.node_count):
             for target in self.targets_of_array(source).tolist():

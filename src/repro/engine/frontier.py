@@ -161,6 +161,49 @@ def frontier_regex_relation(
     return BinaryRelation.from_keys(accept_keys)
 
 
+def frontier_reachable_pairs(
+    seeds: np.ndarray,
+    symbols: tuple[str, ...],
+    csr: SymbolCSRCache,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """Sorted ``(seed, node)`` keys with node reachable from seed (≥0 hops).
+
+    The pair-relation sweep restricted to the given seed column: every
+    seed starts at itself (the identity slice of the closure), and each
+    level costs one CSR gather per symbol for the *whole* frontier
+    relation.  This is what the binding-table join consumes for
+    variable-length steps with a bound endpoint — the result's sorted
+    source column joins against the table with one ``searchsorted``.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if seeds.size == 0:
+        return EMPTY_I64
+    visited = pack_pairs(seeds, seeds)
+    frontier = visited
+    total_pairs = visited.size
+    while frontier.size:
+        budget.check_time()
+        sources, nodes = unpack_keys(frontier)
+        chunks: list[np.ndarray] = []
+        for symbol in symbols:
+            entry = csr.get(symbol)
+            if entry is None:
+                continue
+            probe_index, successors = expand_indptr(
+                nodes, entry[0], entry[1], budget.check_rows
+            )
+            if successors.size:
+                chunks.append(pack_pairs(sources[probe_index], successors))
+        if not chunks:
+            break
+        candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        frontier, visited = advance_frontier(candidates, visited)
+        total_pairs += frontier.size
+        budget.check_rows(total_pairs)
+    return visited
+
+
 def frontier_reachable(
     seeds: np.ndarray,
     symbols: tuple[str, ...],

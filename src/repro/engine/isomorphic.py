@@ -1,4 +1,4 @@
-"""The openCypher-like engine ("G" in the paper's §7).
+"""The openCypher-like engine ("G" in the paper's §7), vectorized.
 
 Two deliberate semantic gaps mirror §7.1's description of system G:
 
@@ -11,17 +11,49 @@ Two deliberate semantic gaps mirror §7.1's description of system G:
   applied, so recursive answers may differ or come back empty — exactly
   the behaviour the paper reports for G.
 
-Evaluation is backtracking pattern matching over expanded disjunct
-branches, the strategy of a prototypical native graph database.
+Evaluation is a **columnar binding-table join**: a match branch keeps
+one ``int64`` matrix with a column per bound pattern variable plus one
+packed ``(src << 32) | trg`` edge-key column per already-matched edge
+step, and extends the whole table one step at a time with the shared
+sorted-key kernels —
+
+* CSR gathers (:func:`repro.columnar.expand_indptr`) for the
+  bound-source / bound-target hop cases,
+* ``searchsorted`` semi-joins (:func:`repro.columnar.keys_contain_many`)
+  for both-bound filters,
+* the frontier sweep's pair relation
+  (:func:`repro.engine.frontier.frontier_reachable_pairs`) joined
+  columnar for variable-length steps, and
+* vectorized duplicate-edge masking (the new edge-key column compared
+  against every same-label edge column at once) replacing the seed's
+  per-match ``used_edges`` frozenset.
+
+Steps are ordered **most-selective-first** from per-label edge counts
+and bound-endpoint degree estimates — the first bite of
+selectivity-driven planning: filters before expansions, cheap
+expansions before expensive ones, Cartesian steps last.
+
+The seed's backtracking matcher survives in
+:mod:`repro.engine.reference_isomorphic` as the parity oracle and the
+``bench_iso_eval`` baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
+from typing import Sequence, TypeAlias
 
 import numpy as np
 
+from repro.columnar import (
+    EMPTY_I64,
+    keys_contain_many,
+    pack_pairs,
+    sorted_unique_keys,
+    unique_rows,
+    unpack_keys,
+)
 from repro.engine.automaton import NFA
 from repro.engine.base import Engine, register_engine
 from repro.engine.budget import EvaluationBudget
@@ -29,8 +61,10 @@ from repro.engine.resultset import ResultSet
 from repro.engine.frontier import (
     SymbolCSRCache,
     frontier_reachable,
+    frontier_reachable_pairs,
     frontier_regex_relation,
 )
+from repro.columnar import expand_indptr, expand_join
 from repro.errors import EngineCapabilityError
 from repro.generation.graph import LabeledGraph
 from repro.queries.ast import (
@@ -38,6 +72,7 @@ from repro.queries.ast import (
     Query,
     QueryRule,
     RegularExpression,
+    inverse_symbol,
     is_inverse,
     symbol_base,
 )
@@ -46,8 +81,9 @@ from repro.queries.ast import (
 #: translator: a real system would refuse queries beyond this).
 MAX_BRANCHES = 128
 
-#: Rows materialised per step when streaming a full edge column.
-EDGE_CHUNK = 8192
+#: Cost multiplier for variable-length steps in the step order: a
+#: reachability sweep touches a multiple of the base edge count.
+RECURSION_COST = 8.0
 
 
 @dataclass(frozen=True)
@@ -68,120 +104,10 @@ class _VarLengthStep:
     target: str
 
 
-_Step = "_EdgeStep | _VarLengthStep"
+_Step: TypeAlias = _EdgeStep | _VarLengthStep
 
 
-@register_engine
-class CypherLikeEngine(Engine):
-    """Backtracking edge-isomorphic matcher with the §7.1 workaround."""
-
-    name = "cypher"
-    paper_system = "G"
-    homomorphic = False
-
-    def evaluate(
-        self,
-        query: Query,
-        graph: LabeledGraph,
-        budget: EvaluationBudget | None = None,
-    ) -> ResultSet:
-        budget = (budget or EvaluationBudget()).start()
-        # Backtracking is inherently tuple-at-a-time (matches surface one
-        # assignment at a time), so G accumulates a Python set and wraps
-        # it columnar once at the boundary.
-        answers: set[tuple[int, ...]] = set()
-        # One CSR resolution per evaluation: every var-length hop in
-        # every branch probes the same per-symbol indexes.
-        csr = SymbolCSRCache(graph)
-        for rule in query.rules:
-            for branch in self._branches(rule):
-                self._match_branch(rule, branch, graph, budget, answers, csr)
-                budget.check_time()
-        return ResultSet(answers, arity=len(query.rules[0].head))
-
-    # -- branch construction --------------------------------------------
-
-    def _branches(self, rule: QueryRule) -> list[list[object]]:
-        """Expand disjunctions into per-branch step lists."""
-        per_conjunct: list[list[list[object]]] = []
-        fresh = _FreshVars()
-        for conjunct in rule.body:
-            regex = conjunct.regex
-            if regex.starred:
-                steps = [
-                    [
-                        _VarLengthStep(
-                            conjunct.source,
-                            _approximate_labels(regex),
-                            conjunct.target,
-                        )
-                    ]
-                ]
-            else:
-                steps = [
-                    _path_steps(conjunct.source, path, conjunct.target, fresh)
-                    for path in regex.disjuncts
-                ]
-            per_conjunct.append(steps)
-        branches = [
-            [step for steps in choice for step in steps]
-            for choice in product(*per_conjunct)
-        ]
-        if len(branches) > MAX_BRANCHES:
-            raise EngineCapabilityError(
-                f"query expands to {len(branches)} match branches (cap {MAX_BRANCHES})"
-            )
-        return branches
-
-    # -- matching ----------------------------------------------------------
-
-    def _match_branch(
-        self,
-        rule: QueryRule,
-        steps: list[object],
-        graph: LabeledGraph,
-        budget: EvaluationBudget,
-        answers: set[tuple[int, ...]],
-        csr: SymbolCSRCache | None = None,
-    ) -> None:
-        csr = csr or SymbolCSRCache(graph)
-        ordered = _order_steps(steps)
-
-        def backtrack(
-            index: int,
-            assignment: dict[str, int],
-            used_edges: frozenset[tuple[int, str, int]],
-        ) -> None:
-            budget.check_time()
-            if index == len(ordered):
-                answers.add(tuple(assignment[v] for v in rule.head))
-                budget.check_rows(len(answers))
-                return
-            step = ordered[index]
-            if isinstance(step, _EdgeStep):
-                for src, trg, edge in _edge_candidates(step, assignment, graph):
-                    if edge in used_edges:
-                        continue
-                    new_assignment = _extend(assignment, step.source, src)
-                    if new_assignment is None:
-                        continue
-                    new_assignment = _extend(new_assignment, step.target, trg)
-                    if new_assignment is None:
-                        continue
-                    backtrack(index + 1, new_assignment, used_edges | {edge})
-            else:
-                for src, trg in _reachable_candidates(
-                    step, assignment, graph, budget, csr
-                ):
-                    new_assignment = _extend(assignment, step.source, src)
-                    if new_assignment is None:
-                        continue
-                    new_assignment = _extend(new_assignment, step.target, trg)
-                    if new_assignment is None:
-                        continue
-                    backtrack(index + 1, new_assignment, used_edges)
-
-        backtrack(0, {}, frozenset())
+# -- branch construction (shared with the reference backtracker) ---------
 
 
 class _FreshVars:
@@ -195,11 +121,11 @@ class _FreshVars:
 
 def _path_steps(
     source: str, path: PathExpression, target: str, fresh: _FreshVars
-) -> list[object]:
+) -> list[_Step]:
     if path.is_epsilon:
         # ε: equate the endpoints with a zero-length var-length step.
         return [_VarLengthStep(source, (), target)]
-    steps: list[object] = []
+    steps: list[_Step] = []
     current = source
     for index, symbol in enumerate(path.symbols):
         nxt = target if index == len(path.symbols) - 1 else fresh.next()
@@ -220,18 +146,146 @@ def _approximate_labels(regex: RegularExpression) -> tuple[str, ...]:
     return tuple(labels)
 
 
-def _order_steps(steps: list[object]) -> list[object]:
-    """Greedy connectivity order (var-length hops last when possible)."""
+def _expand_branches(rule: QueryRule) -> list[list[_Step]]:
+    """Expand disjunctions into per-branch step lists."""
+    per_conjunct: list[list[list[_Step]]] = []
+    fresh = _FreshVars()
+    for conjunct in rule.body:
+        regex = conjunct.regex
+        if regex.starred:
+            steps: list[list[_Step]] = [
+                [
+                    _VarLengthStep(
+                        conjunct.source,
+                        _approximate_labels(regex),
+                        conjunct.target,
+                    )
+                ]
+            ]
+        else:
+            steps = [
+                _path_steps(conjunct.source, path, conjunct.target, fresh)
+                for path in regex.disjuncts
+            ]
+        per_conjunct.append(steps)
+    branches = [
+        [step for steps in choice for step in steps]
+        for choice in product(*per_conjunct)
+    ]
+    if len(branches) > MAX_BRANCHES:
+        raise EngineCapabilityError(
+            f"query expands to {len(branches)} match branches (cap {MAX_BRANCHES})"
+        )
+    return branches
+
+
+# -- per-evaluation graph access ----------------------------------------
+
+
+class _EvalContext:
+    """Per-evaluation caches: CSR indexes, key columns, edge counts.
+
+    Every branch of every rule probes the same per-label columns, so
+    one resolution per evaluation keeps the comparison about strategy.
+    Falls back gracefully on graph backends without the columnar
+    accessors (the dict-of-sets parity oracle).
+    """
+
+    __slots__ = ("graph", "budget", "csr", "_keys", "_counts")
+
+    def __init__(self, graph: LabeledGraph, budget: EvaluationBudget):
+        self.graph = graph
+        self.budget = budget
+        self.csr = SymbolCSRCache(graph)
+        self._keys: dict[str, np.ndarray] = {}
+        self._counts: dict[str, int] = {}
+
+    def label_keys(self, label: str) -> np.ndarray:
+        """Sorted packed (source, target) key column of one label."""
+        keys = self._keys.get(label)
+        if keys is None:
+            accessor = getattr(self.graph, "edge_keys", None)
+            if accessor is not None:
+                keys = accessor(label)
+            else:
+                sources, targets = self.graph.edge_arrays(label)
+                keys = (
+                    sorted_unique_keys(sources, targets)
+                    if sources.size
+                    else EMPTY_I64
+                )
+            self._keys[label] = keys
+        return keys
+
+    def label_count(self, label: str) -> int:
+        """Edge count of one label (the order heuristic's cardinality)."""
+        count = self._counts.get(label)
+        if count is None:
+            count = self._counts[label] = int(self.label_keys(label).size)
+        return count
+
+
+# -- selectivity-driven step order --------------------------------------
+
+
+def _order_steps(steps: Sequence[_Step], ctx: _EvalContext) -> list[_Step]:
+    """Cardinality-driven greedy order: most selective extension first.
+
+    Each candidate step is scored against the variables bound so far:
+
+    * rank 0 — pure **filters** (every endpoint already bound): they
+      only shrink the table, so they run as early as possible;
+    * rank 1 — **expansions** from one bound endpoint, costed by the
+      expected fan-out ``edges / nodes`` (the bound-endpoint degree
+      estimate; variable-length steps pay :data:`RECURSION_COST`);
+    * rank 2 — **Cartesian** steps with no bound endpoint, costed by
+      the full per-label edge count — the first step picks the most
+      selective relation, later steps avoid products entirely while a
+      connected alternative exists.
+
+    This replaces the seed's blind connectivity greedy (retained in
+    :mod:`repro.engine.reference_isomorphic`) with the worst-case-
+    optimal flavour the selectivity machinery suggests: extend by the
+    most selective conjunct first.
+    """
+    n = max(ctx.graph.n, 1)
+
+    def cost(step: _Step, bound: set[str]) -> tuple[int, float]:
+        src_bound = step.source in bound
+        trg_bound = step.target in bound
+        if isinstance(step, _EdgeStep):
+            edges = ctx.label_count(symbol_base(step.symbol))
+            if (src_bound and trg_bound) or (
+                step.source == step.target and src_bound
+            ):
+                return (0, edges / (n * n))
+            if src_bound or trg_bound:
+                return (1, edges / n)
+            return (2, float(edges))
+        edges = sum(ctx.label_count(label) for label in step.labels)
+        if not step.labels:
+            # ε: equality filter / column copy / node-domain product.
+            if (src_bound and trg_bound) or (
+                step.source == step.target and src_bound
+            ):
+                return (0, 0.0)
+            if src_bound or trg_bound:
+                return (1, 1.0)
+            return (2, float(n))
+        if step.source == step.target:
+            # (v, v) always reachable in >= 0 hops: filter or product.
+            return (0, 0.0) if src_bound else (2, float(n))
+        if src_bound and trg_bound:
+            return (0, RECURSION_COST * edges / n)
+        if src_bound or trg_bound:
+            return (1, RECURSION_COST * edges / n)
+        return (2, float(n) + RECURSION_COST * edges)
+
     remaining = list(steps)
-    ordered: list[object] = []
+    ordered: list[_Step] = []
     bound: set[str] = set()
     while remaining:
-        def score(step) -> tuple[int, int]:
-            connected = int(step.source in bound or step.target in bound)
-            fixed = int(isinstance(step, _EdgeStep))
-            return (-connected if bound else 0, -fixed)
-
-        best = min(remaining, key=score)
+        best = min(remaining, key=lambda step: cost(step, bound))
         remaining.remove(best)
         ordered.append(best)
         bound.add(best.source)
@@ -239,104 +293,289 @@ def _order_steps(steps: list[object]) -> list[object]:
     return ordered
 
 
-def _extend(
-    assignment: dict[str, int], var: str, value: int
-) -> dict[str, int] | None:
-    existing = assignment.get(var)
-    if existing is None:
-        new_assignment = dict(assignment)
-        new_assignment[var] = value
-        return new_assignment
-    if existing != value:
-        return None
-    return assignment
+# -- the binding table ---------------------------------------------------
 
 
-def _edge_candidates(step: _EdgeStep, assignment: dict[str, int], graph: LabeledGraph):
-    """Yield (src_value, trg_value, edge_id) for one pattern edge."""
-    label = symbol_base(step.symbol)
-    inverse = is_inverse(step.symbol)
-    src_val = assignment.get(step.source)
-    trg_val = assignment.get(step.target)
+class _BindingTable:
+    """One match branch's state: an ``int64`` matrix plus column maps.
 
-    if inverse:
-        # (source)<-[:label]-(target): a physical edge target -> source.
-        if src_val is not None:
-            for trg in graph.predecessors_array(src_val, label).tolist():
-                if trg_val is None or trg == trg_val:
-                    yield src_val, trg, (trg, label, src_val)
-        elif trg_val is not None:
-            for src in graph.successors_array(trg_val, label).tolist():
-                yield src, trg_val, (trg_val, label, src)
-        else:
-            for src, trg in _edge_stream(graph, label):
-                yield trg, src, (src, label, trg)
-    else:
-        if src_val is not None:
-            for trg in graph.successors_array(src_val, label).tolist():
-                if trg_val is None or trg == trg_val:
-                    yield src_val, trg, (src_val, label, trg)
-        elif trg_val is not None:
-            for src in graph.predecessors_array(trg_val, label).tolist():
-                yield src, trg_val, (src, label, trg)
-        else:
-            for src, trg in _edge_stream(graph, label):
-                yield src, trg, (src, label, trg)
-
-
-def _edge_stream(graph: LabeledGraph, label: str):
-    """Stream a label's (source, target) pairs in bounded chunks.
-
-    The unbound-unbound case used to ``.tolist()`` both full edge
-    columns up front; backtracking usually aborts after a handful of
-    candidates, so only ``EDGE_CHUNK`` rows are ever materialised at a
-    time.
+    ``rows`` holds one column per bound pattern variable (positions in
+    ``var_pos``) and one packed edge-key column per matched edge step
+    (positions per label in ``edge_cols`` — the columnar replacement of
+    the seed's per-match ``used_edges`` frozenset).  Columns only ever
+    append, so recorded positions stay valid across row filters and
+    expansions.
     """
-    sources, targets = graph.edge_arrays(label)
-    for start in range(0, sources.size, EDGE_CHUNK):
-        stop = start + EDGE_CHUNK
-        yield from zip(
-            sources[start:stop].tolist(), targets[start:stop].tolist()
-        )
+
+    __slots__ = ("rows", "var_pos", "edge_cols")
+
+    def __init__(self) -> None:
+        self.rows = np.zeros((1, 0), dtype=np.int64)
+        self.var_pos: dict[str, int] = {}
+        self.edge_cols: dict[str, list[int]] = {}
+
+    @property
+    def row_count(self) -> int:
+        return self.rows.shape[0]
+
+    def append_column(self, var: str, column: np.ndarray, rows: np.ndarray) -> None:
+        self.var_pos[var] = rows.shape[1]
+        self.rows = np.column_stack((rows, column))
 
 
-def _reachable_candidates(
-    step: _VarLengthStep,
-    assignment: dict[str, int],
-    graph: LabeledGraph,
+def _cross_product(
+    table: np.ndarray,
+    columns: tuple[np.ndarray, ...],
     budget: EvaluationBudget,
-    csr: SymbolCSRCache | None = None,
-):
-    """(src, trg) pairs of a forward variable-length pattern."""
-    csr = csr or SymbolCSRCache(graph)
-    src_val = assignment.get(step.source)
-    trg_val = assignment.get(step.target)
+) -> np.ndarray:
+    """Cartesian product of the table with parallel value columns."""
+    count = columns[0].size
+    budget.check_rows(table.shape[0] * count)
+    repeated = np.repeat(table, count, axis=0)
+    tiled = [np.tile(column, table.shape[0]) for column in columns]
+    return np.column_stack((repeated, *tiled))
 
-    if src_val is not None:
-        for trg in _forward_reachable(src_val, step.labels, graph, budget, csr):
-            if trg_val is None or trg == trg_val:
-                yield src_val, trg
-    elif trg_val is not None:
-        for src in _backward_reachable(trg_val, step.labels, graph, budget, csr):
-            yield src, trg_val
+
+def _extend_edge_step(
+    bt: _BindingTable, step: _EdgeStep, ctx: _EvalContext
+) -> None:
+    """Extend the binding table by one single-symbol hop.
+
+    Works on the *physical* edge orientation: an inverse symbol swaps
+    which pattern variable sits on the source side.  After the rows are
+    extended/filtered, the step's packed edge keys are masked against
+    every already-matched same-label edge column (edge-isomorphism) and
+    appended as a new column.
+    """
+    label = symbol_base(step.symbol)
+    budget = ctx.budget
+    if is_inverse(step.symbol):
+        a_var, b_var = step.target, step.source
     else:
-        # Both ends free: run the pair-level frontier sweep with the
-        # trivial one-state automaton (every label loops on the start
-        # state) — the same kernel the SPARQL-like engine uses — instead
-        # of one per-source Python BFS per graph node.  This trades the
-        # old per-source laziness for the vectorized sweep: the whole
-        # reachability relation is computed on the first candidate
-        # request, with the sweep's own budget hooks bounding runaways.
-        nfa = NFA(
-            1, 0, frozenset({0}), {0: [(label, 0) for label in step.labels]}
-        )
-        relation = frontier_regex_relation(nfa, graph, budget, csr)
-        sources, targets = relation.source_array, relation.target_array
-        for start in range(0, sources.size, EDGE_CHUNK):
-            stop = start + EDGE_CHUNK
-            yield from zip(
-                sources[start:stop].tolist(), targets[start:stop].tolist()
+        a_var, b_var = step.source, step.target
+    table = bt.rows
+    a_pos = bt.var_pos.get(a_var)
+    b_pos = bt.var_pos.get(b_var)
+
+    if a_var == b_var:
+        # The pattern equates both endpoints: only loop edges match.
+        if a_pos is not None:
+            values = table[:, a_pos]
+            mask = keys_contain_many(
+                ctx.label_keys(label), pack_pairs(values, values)
             )
+            bt.rows = table[mask]
+        else:
+            sources, targets = ctx.graph.edge_arrays(label)
+            loops = sources[sources == targets]
+            bt.append_column(
+                a_var, *_cross_split(table, loops, budget)
+            )
+        a_pos = b_pos = bt.var_pos[a_var]
+    elif a_pos is not None and b_pos is not None:
+        probe = pack_pairs(table[:, a_pos], table[:, b_pos])
+        bt.rows = table[keys_contain_many(ctx.label_keys(label), probe)]
+    elif a_pos is not None:
+        entry = ctx.csr.get(label)
+        if entry is None:
+            bt.rows = np.zeros((0, table.shape[1]), dtype=np.int64)
+            return
+        probe_index, values = expand_indptr(
+            table[:, a_pos], entry[0], entry[1], budget.check_rows
+        )
+        bt.append_column(b_var, values, table[probe_index])
+        b_pos = bt.var_pos[b_var]
+    elif b_pos is not None:
+        entry = ctx.csr.get(label + "-")
+        if entry is None:
+            bt.rows = np.zeros((0, table.shape[1]), dtype=np.int64)
+            return
+        probe_index, values = expand_indptr(
+            table[:, b_pos], entry[0], entry[1], budget.check_rows
+        )
+        bt.append_column(a_var, values, table[probe_index])
+        a_pos = bt.var_pos[a_var]
+    else:
+        sources, targets = ctx.graph.edge_arrays(label)
+        bt.rows = _cross_product(table, (sources, targets), budget)
+        a_pos = table.shape[1]
+        b_pos = table.shape[1] + 1
+        bt.var_pos[a_var] = a_pos
+        bt.var_pos[b_var] = b_pos
+
+    if bt.row_count == 0:
+        return
+    rows = bt.rows
+    edge_keys = pack_pairs(rows[:, a_pos], rows[:, b_pos])
+    previous = bt.edge_cols.get(label)
+    if previous:
+        keep = np.ones(edge_keys.size, dtype=bool)
+        for column in previous:
+            keep &= rows[:, column] != edge_keys
+        if not keep.all():
+            rows = rows[keep]
+            edge_keys = edge_keys[keep]
+    bt.edge_cols.setdefault(label, []).append(rows.shape[1])
+    bt.rows = np.column_stack((rows, edge_keys))
+
+
+def _cross_split(
+    table: np.ndarray, column: np.ndarray, budget: EvaluationBudget
+) -> tuple[np.ndarray, np.ndarray]:
+    """(new value column, repeated table) of a one-column product."""
+    budget.check_rows(table.shape[0] * column.size)
+    repeated = np.repeat(table, column.size, axis=0)
+    return np.tile(column, table.shape[0]), repeated
+
+
+def _extend_var_step(
+    bt: _BindingTable, step: _VarLengthStep, ctx: _EvalContext
+) -> None:
+    """Extend the binding table by one variable-length (>= 0 hop) step.
+
+    Bound endpoints seed a pair-relation frontier sweep
+    (:func:`frontier_reachable_pairs`) whose sorted output is joined
+    against the table columnar; the both-unbound case runs the full
+    one-state product sweep once and takes a Cartesian product.
+    Variable-length steps never consume edge identities (matching the
+    seed semantics), so no edge column is appended.
+    """
+    graph, budget, csr = ctx.graph, ctx.budget, ctx.csr
+    table = bt.rows
+    src_pos = bt.var_pos.get(step.source)
+    trg_pos = bt.var_pos.get(step.target)
+
+    if not step.labels:
+        # ε: the endpoints must be equal.
+        if step.source == step.target:
+            if src_pos is None:
+                ids = np.arange(graph.n, dtype=np.int64)
+                bt.append_column(
+                    step.source, *_cross_split(table, ids, budget)
+                )
+            return
+        if src_pos is not None and trg_pos is not None:
+            bt.rows = table[table[:, src_pos] == table[:, trg_pos]]
+        elif src_pos is not None:
+            bt.append_column(step.target, table[:, src_pos], table)
+        elif trg_pos is not None:
+            bt.append_column(step.source, table[:, trg_pos], table)
+        else:
+            ids = np.arange(graph.n, dtype=np.int64)
+            budget.check_rows(table.shape[0] * graph.n)
+            repeated = np.repeat(table, graph.n, axis=0)
+            tiled = np.tile(ids, table.shape[0])
+            bt.var_pos[step.source] = table.shape[1]
+            bt.var_pos[step.target] = table.shape[1] + 1
+            bt.rows = np.column_stack((repeated, tiled, tiled))
+        return
+
+    if step.source == step.target:
+        # (v, v) holds for every v at zero hops: a no-op when bound,
+        # the full node domain when not.
+        if src_pos is None:
+            ids = np.arange(graph.n, dtype=np.int64)
+            bt.append_column(step.source, *_cross_split(table, ids, budget))
+        return
+
+    if src_pos is not None and trg_pos is not None:
+        seeds = np.unique(table[:, src_pos])
+        keys = frontier_reachable_pairs(seeds, step.labels, csr, budget)
+        probe = pack_pairs(table[:, src_pos], table[:, trg_pos])
+        bt.rows = table[keys_contain_many(keys, probe)]
+    elif src_pos is not None:
+        seeds = np.unique(table[:, src_pos])
+        keys = frontier_reachable_pairs(seeds, step.labels, csr, budget)
+        sources, targets = unpack_keys(keys)
+        _, probe_index, build_index = expand_join(
+            table[:, src_pos], sources, budget.check_rows
+        )
+        bt.append_column(
+            step.target, targets[build_index], table[probe_index]
+        )
+    elif trg_pos is not None:
+        inverse_labels = tuple(inverse_symbol(label) for label in step.labels)
+        seeds = np.unique(table[:, trg_pos])
+        keys = frontier_reachable_pairs(seeds, inverse_labels, csr, budget)
+        targets, sources = unpack_keys(keys)
+        _, probe_index, build_index = expand_join(
+            table[:, trg_pos], targets, budget.check_rows
+        )
+        bt.append_column(
+            step.source, sources[build_index], table[probe_index]
+        )
+    else:
+        relation = frontier_regex_relation(
+            _star_nfa(step.labels), graph, budget, csr
+        )
+        bt.rows = _cross_product(
+            table, (relation.source_array, relation.target_array), budget
+        )
+        bt.var_pos[step.source] = table.shape[1]
+        bt.var_pos[step.target] = table.shape[1] + 1
+
+
+def _star_nfa(labels: tuple[str, ...]) -> NFA:
+    """The one-state automaton of ``(l1 | ... | lk)*``."""
+    return NFA(1, 0, frozenset({0}), {0: [(label, 0) for label in labels]})
+
+
+# -- the engine ----------------------------------------------------------
+
+
+@register_engine
+class CypherLikeEngine(Engine):
+    """Binding-table-join edge-isomorphic matcher with the §7.1 workaround."""
+
+    name = "cypher"
+    paper_system = "G"
+    homomorphic = False
+
+    def evaluate(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> ResultSet:
+        budget = (budget or EvaluationBudget()).start()
+        ctx = _EvalContext(graph, budget)
+        arity = query.rules[0].arity
+        tables: list[np.ndarray] = []
+        for rule in query.rules:
+            for branch in _expand_branches(rule):
+                table = self._join_branch(rule, branch, ctx)
+                if table.shape[0]:
+                    tables.append(table)
+                budget.check_time()
+        if not tables:
+            return ResultSet.empty(arity)
+        combined = tables[0] if len(tables) == 1 else np.concatenate(tables)
+        return ResultSet.from_table(combined)
+
+    def _join_branch(
+        self, rule: QueryRule, steps: list[_Step], ctx: _EvalContext
+    ) -> np.ndarray:
+        """Evaluate one branch: extend the table a step at a time and
+        project onto the head (unique rows)."""
+        budget = ctx.budget
+        bt = _BindingTable()
+        for step in _order_steps(steps, ctx):
+            if isinstance(step, _EdgeStep):
+                _extend_edge_step(bt, step, ctx)
+            else:
+                _extend_var_step(bt, step, ctx)
+            budget.check_rows(bt.row_count)
+            budget.check_time()
+            if bt.row_count == 0:
+                return np.zeros((0, len(rule.head)), dtype=np.int64)
+        positions = [bt.var_pos[var] for var in rule.head]
+        if not positions:
+            # Boolean head: one unit row when the branch matched.
+            return np.zeros((min(bt.row_count, 1), 0), dtype=np.int64)
+        return unique_rows(bt.rows[:, positions])
+
+
+# -- reachability helpers (shared with the reference backtracker) --------
 
 
 def _forward_reachable(

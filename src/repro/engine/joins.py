@@ -14,8 +14,10 @@ probe of the relation's CSR columns (``np.searchsorted`` +
 ``np.repeat`` expansion) over the whole table at once; relations that
 only expose the set API (the SCC-compressed
 :class:`~repro.engine.closure.ClosureRelation`, which deliberately
-avoids materialising its pair set) fall back to per-row loops over
-``targets_of_array``.  Rows stay unique by construction — every
+avoids materialising its pair set) are extended *grouped by distinct
+bound value* — one ``targets_of_array`` probe and one
+``repeat``/``tile`` assembly per distinct value instead of one Python
+loop iteration per row.  Rows stay unique by construction — every
 extension either filters rows or appends distinct values per row — so
 no intermediate deduplication is needed.  The head projection is handed
 to :class:`~repro.engine.resultset.ResultSet` as column groups: no
@@ -151,7 +153,51 @@ def _extend_semijoin(
     return table[keep]
 
 
-def _extend_generic(
+def _extend_expand(
+    table: np.ndarray,
+    relation,
+    pos: int,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """One-bound-endpoint expansion against a set-API relation.
+
+    Rows are grouped by their distinct bound value (one stable argsort);
+    each group expands with a single ``targets_of_array`` probe and one
+    ``repeat``/``tile`` assembly.  For :class:`ClosureRelation` the
+    probe is cached per SCC, so the per-group cost is index arithmetic.
+    The budget is charged on the cumulative output size *before* each
+    group's arrays are materialised.
+    """
+    if table.shape[0] == 0:
+        return np.zeros((0, table.shape[1] + 1), dtype=np.int64)
+    column = table[:, pos]
+    order = np.argsort(column, kind="stable")
+    sorted_column = column[order]
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_column[1:] != sorted_column[:-1]))
+    )
+    run_ends = np.append(run_starts[1:], sorted_column.size)
+    row_chunks: list[np.ndarray] = []
+    value_chunks: list[np.ndarray] = []
+    total = 0
+    for rs, re_ in zip(run_starts.tolist(), run_ends.tolist()):
+        targets = relation.targets_of_array(int(sorted_column[rs]))
+        if targets.size == 0:
+            continue
+        group = order[rs:re_]
+        total += group.size * targets.size
+        budget.check_rows(total)
+        row_chunks.append(np.repeat(group, targets.size))
+        value_chunks.append(np.tile(targets, group.size))
+        budget.check_time()
+    if not row_chunks:
+        return np.zeros((0, table.shape[1] + 1), dtype=np.int64)
+    row_index = np.concatenate(row_chunks)
+    values = np.concatenate(value_chunks)
+    return np.column_stack((table[row_index], values))
+
+
+def _extend_setapi(
     table: np.ndarray,
     relation,
     src_pos: int | None,
@@ -159,55 +205,34 @@ def _extend_generic(
     self_loop: bool,
     budget: EvaluationBudget,
 ) -> np.ndarray:
-    """Per-row fallback for set-API relations (e.g. ClosureRelation)."""
+    """Array-native extension against a set-API relation.
+
+    The counterpart of :func:`_extend_vectorized` for relations that
+    avoid materialising their pair set (:class:`ClosureRelation`): every
+    binding case runs on whole columns — the per-row Python fallbacks
+    the seed kept here are gone.
+    """
     if src_pos is not None and (trg_pos is not None or self_loop):
-        if hasattr(relation, "targets_of_array"):
-            return _extend_semijoin(
-                table,
-                relation,
-                src_pos,
-                src_pos if self_loop else trg_pos,
-                budget,
-            )
-    rows = table.tolist()
-    new_rows: list[list[int]] = []
-    if src_pos is None and trg_pos is None:
-        if self_loop:
-            added = 1
-            loops = [s for s, t in relation if s == t]
-            for row in rows:
-                for node in loops:
-                    new_rows.append(row + [node])
-        else:
-            added = 2
-            for row in rows:
-                for position, (s, t) in enumerate(relation):
-                    new_rows.append(row + [s, t])
-                    if position % 65536 == 65535:
-                        budget.check_rows(len(new_rows))
-                        budget.check_time()
-                budget.check_rows(len(new_rows))
-    elif src_pos is not None and (trg_pos is not None or self_loop):
-        added = 0
-        effective_trg = src_pos if self_loop else trg_pos
-        for row in rows:
-            if (row[src_pos], row[effective_trg]) in relation:
-                new_rows.append(row)
-    elif src_pos is not None:
-        added = 1
-        for row in rows:
-            for t in relation.targets_of_array(row[src_pos]).tolist():
-                new_rows.append(row + [t])
-            budget.check_rows(len(new_rows))
-    else:
-        added = 1
-        inverse = relation.inverse()
-        for row in rows:
-            for s in inverse.targets_of_array(row[trg_pos]).tolist():
-                new_rows.append(row + [s])
-            budget.check_rows(len(new_rows))
-    width = table.shape[1] + added
-    return np.asarray(new_rows, dtype=np.int64).reshape(len(new_rows), width)
+        return _extend_semijoin(
+            table, relation, src_pos, src_pos if self_loop else trg_pos, budget
+        )
+    if src_pos is not None:
+        return _extend_expand(table, relation, src_pos, budget)
+    if trg_pos is not None:
+        return _extend_expand(table, relation.inverse(), trg_pos, budget)
+    if self_loop:
+        loops = relation.loop_array()
+        budget.check_rows(table.shape[0] * loops.size)
+        repeated = np.repeat(table, loops.size, axis=0)
+        return np.column_stack((repeated, np.tile(loops, table.shape[0])))
+    budget.check_rows(table.shape[0] * len(relation))
+    sources, targets = relation.pair_arrays()
+    repeated = np.repeat(table, sources.size, axis=0)
+    return np.column_stack((
+        repeated,
+        np.tile(sources, table.shape[0]),
+        np.tile(targets, table.shape[0]),
+    ))
 
 
 def join_rule(
@@ -252,7 +277,7 @@ def join_rule(
                 table, relation, src_pos, trg_pos, self_loop, budget
             )
         else:
-            table = _extend_generic(
+            table = _extend_setapi(
                 table, relation, src_pos, trg_pos, self_loop, budget
             )
         schema = new_schema

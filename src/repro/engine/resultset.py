@@ -184,6 +184,34 @@ class ResultSet(AbstractSet):
         return result
 
     @classmethod
+    def from_rows(
+        cls, rows, arity: int | None = None
+    ) -> "ResultSet":
+        """Fast path from a set/list of equal-length tuples.
+
+        One ``np.fromiter`` pass flattens the rows straight into the
+        ``(n, k)`` matrix :meth:`from_table` canonicalises — no
+        intermediate list-of-tuples array conversion.  ``arity`` is
+        required when ``rows`` may be empty (an empty set carries no
+        arity of its own).
+        """
+        count = len(rows)
+        if count == 0:
+            return cls.empty(0 if arity is None else arity)
+        if arity is None:
+            arity = len(next(iter(rows)))
+        if arity == 0:
+            return cls.unit()
+        flat = np.fromiter(
+            (value for row in rows for value in row),
+            dtype=np.int64,
+            count=count * arity,
+        )
+        result = cls.__new__(cls)
+        result._init_from_table(flat.reshape(count, arity))
+        return result
+
+    @classmethod
     def from_tuples(
         cls, rows: Iterable[tuple[int, ...]], arity: int | None = None
     ) -> "ResultSet":

@@ -191,6 +191,7 @@ PAIRS = st.lists(
 )
 
 
+@pytest.mark.nightly
 class TestRelationAlgebraParity:
     """Vectorized relation algebra vs. plain set semantics (oracle)."""
 

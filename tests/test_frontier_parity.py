@@ -84,6 +84,7 @@ _regexes = st.builds(
 
 
 class TestFrontierMatchesReferenceBfs:
+    @pytest.mark.nightly
     @given(a_edges=_edges, b_edges=_edges, regex=_regexes)
     @settings(max_examples=60, deadline=None)
     def test_random_graph_random_regex(self, a_edges, b_edges, regex):
@@ -94,6 +95,7 @@ class TestFrontierMatchesReferenceBfs:
             query, columnar
         ), regex.to_text()
 
+    @pytest.mark.nightly
     @given(a_edges=_edges, regex=_regexes)
     @settings(max_examples=25, deadline=None)
     def test_backends_interchangeable(self, a_edges, regex):
@@ -123,6 +125,7 @@ def bib_graph_700():
 
 
 class TestCrossEngineAgreement:
+    @pytest.mark.nightly
     @given(seed=st.integers(0, 400))
     @settings(
         max_examples=6,

@@ -173,6 +173,7 @@ class TestDrawParity:
                     assert (symbol, node) in graph.successors(current)
                     current = node
 
+    @pytest.mark.nightly
     def test_chi_square_uniformity(self, example_schema):
         """Batch draws are uniform over the brute-force path set."""
         graph = SchemaGraph(example_schema)
@@ -191,6 +192,7 @@ class TestDrawParity:
         _, p_value = stats.chisquare(list(counts.values()))
         assert p_value > 1e-3, dict(counts)
 
+    @pytest.mark.nightly
     def test_chi_square_uniformity_mixed_lengths(self, example_schema):
         """Range draws are uniform over paths of *all* admissible lengths."""
         graph = SchemaGraph(example_schema)
@@ -354,6 +356,7 @@ class TestOverflowFallback:
                 assert (symbol, node) in graph.successors(current)
                 current = node
 
+    @pytest.mark.nightly
     def test_uniform_transitions_at_deep_levels(self):
         """Regression: huge (but in-int64) counts must not collapse draws.
 
