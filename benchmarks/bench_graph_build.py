@@ -28,10 +28,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 import time
+
+from conftest import disabled_probe, write_bench_artifact
 
 from repro.engine.evaluator import evaluate_query
 from repro.engine.relations import BinaryRelation
@@ -172,10 +173,10 @@ def main() -> int:
         # Smoke mode must not clobber the tracked full-run artifact.
         print("quick mode: artifact not written")
     else:
-        ARTIFACT.write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {ARTIFACT}")
+        write_bench_artifact(ARTIFACT, results)
+
+    # The measured numbers are only valid if tracing stayed dormant.
+    disabled_probe()
 
     if not args.quick:
         failures = [

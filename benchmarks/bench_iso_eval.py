@@ -33,12 +33,13 @@ smoke); the default measures 50k nodes.
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import statistics
 import sys
 import time
 
+
+from conftest import disabled_probe, write_bench_artifact
 from repro.engine.budget import unlimited
 from repro.engine.isomorphic import CypherLikeEngine
 from repro.engine.reference_isomorphic import ReferenceCypherEngine
@@ -148,10 +149,10 @@ def main() -> int:
         # Smoke mode must not clobber the tracked full-run artifact.
         print("smoke mode: artifact not written")
     else:
-        ARTIFACT.write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {ARTIFACT}")
+        write_bench_artifact(ARTIFACT, results)
+
+    # The measured numbers are only valid if tracing stayed dormant.
+    disabled_probe()
 
     worst = results["worst_speedup_at_floor_size"]
     if worst < SPEEDUP_FLOOR:

@@ -41,12 +41,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import statistics
 import sys
 import time
 
+
+from conftest import disabled_probe, write_bench_artifact
 from repro.engine.budget import unlimited
 from repro.engine.evaluator import ENGINES
 from repro.session import Session
@@ -174,10 +175,10 @@ def main() -> int:
         # Smoke mode must not clobber the tracked full-run artifact.
         print("smoke mode: artifact not written")
     else:
-        ARTIFACT.write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {ARTIFACT}")
+        write_bench_artifact(ARTIFACT, results)
+
+    # The measured numbers are only valid if tracing stayed dormant.
+    disabled_probe()
 
     aggregate = results["aggregate_speedup_at_floor_size"]
     if aggregate < SPEEDUP_FLOOR:

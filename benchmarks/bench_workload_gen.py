@@ -35,7 +35,6 @@ enforces the speedup floor (CI).
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import statistics
 import sys
@@ -45,6 +44,8 @@ import warnings
 
 import numpy as np
 
+
+from conftest import disabled_probe, write_bench_artifact
 from repro.generation.generator import generate_graph
 from repro.generation.writers import write_edge_list
 from repro.queries.generator import WorkloadGenerator
@@ -202,10 +203,10 @@ def main() -> int:
         # Smoke mode must not clobber the tracked full-run artifact.
         print("smoke mode: artifact not written")
     else:
-        ARTIFACT.write_text(
-            json.dumps(results, indent=2) + "\n", encoding="utf-8"
-        )
-        print(f"wrote {ARTIFACT}")
+        write_bench_artifact(ARTIFACT, results)
+
+    # The measured numbers are only valid if tracing stayed dormant.
+    disabled_probe()
 
     failed = [
         row for row in results["generation"] if row["speedup"] < SPEEDUP_FLOOR

@@ -8,9 +8,13 @@ Subcommands::
                             [--workload-config wl.xml] [--output wl.xml]
     gmark translate         --workload wl.xml --dialect sparql
     gmark evaluate          --scenario bib --nodes N --query "(?x,?y) <- ..."
-                            [--engine datalog]
+                            [--engine datalog] [--profile]
 
-Every command accepts ``--seed`` for reproducibility.  All commands
+Every command accepts ``--seed`` for reproducibility and ``-v``/``-vv``
+(before the subcommand) for structured logging on stderr.
+``evaluate --profile`` writes an NDJSON evaluation profile — per-conjunct
+estimated vs. observed cardinality, spans, and metric counters — next to
+the printed count (``--profile-output``, default ``profile.ndjson``).  All commands
 drive one :class:`~repro.session.Session` (cached schema → graph →
 workload pipeline), and the extension points — engines, translators,
 scenarios, graph writers — resolve through their shared registries, so
@@ -27,6 +31,8 @@ import sys
 from repro.config.xml_io import workload_config_from_xml
 from repro.engine.evaluator import ENGINES
 from repro.generation.writers import GRAPH_WRITERS
+from repro.observability.export import write_ndjson
+from repro.observability.log import setup_logging, verbosity_level
 from repro.scenarios import SCENARIOS
 from repro.session import Session
 from repro.translate import TRANSLATORS, workload_from_xml, workload_to_xml
@@ -104,6 +110,14 @@ def _cmd_translate(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     session = _session(args)
+    if args.profile:
+        profile = session.evaluate(args.query, args.engine, profile=True)
+        lines = write_ndjson(args.profile_output, profile.records())
+        print(profile.render(), file=sys.stderr)
+        print(f"wrote {lines} profile records to {args.profile_output}",
+              file=sys.stderr)
+        print(profile.result.count_distinct())
+        return 0
     # ResultSet.count_distinct(): the count resolves array-side, no
     # tuple materialization at the CLI boundary.
     print(session.count_distinct(args.query, args.engine))
@@ -118,6 +132,13 @@ def _cmd_export_config(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gmark", description="gMark reproduction CLI"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured logging on stderr (-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -148,6 +169,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_args(p_ev)
     p_ev.add_argument("--query", required=True, help="UCRPQ text")
     p_ev.add_argument("--engine", default="datalog", choices=sorted(ENGINES))
+    p_ev.add_argument(
+        "--profile",
+        action="store_true",
+        help="record an evaluation profile (estimated vs. observed "
+        "cardinality per conjunct, spans, metrics) as NDJSON",
+    )
+    p_ev.add_argument(
+        "--profile-output",
+        default="profile.ndjson",
+        help="NDJSON path for --profile (default: %(default)s)",
+    )
     p_ev.set_defaults(func=_cmd_evaluate)
 
     p_ex = sub.add_parser("export-config", help="print a scenario as XML")
@@ -158,6 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        setup_logging(verbosity_level(args.verbose))
     try:
         return args.func(args)
     except BrokenPipeError:

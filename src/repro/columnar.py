@@ -24,6 +24,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.metrics import METRICS
+
+# Always-on store counters (one integer add each; see README glossary).
+_BATCH_MERGES = METRICS.counter("columnar.batch_merges")
+_FLUSHES = METRICS.counter("columnar.flushes")
+_CSR_BUILDS = METRICS.counter("columnar.csr_builds")
+
 #: Bit width of one packed coordinate.
 KEY_BITS = 32
 #: Exclusive upper bound on a packable id.
@@ -349,6 +356,7 @@ class PairStore:
 
     def flush(self) -> None:
         if self._pending:
+            _FLUSHES.inc()
             self._set_keys(
                 merge_keys(
                     self._keys,
@@ -380,6 +388,7 @@ class PairStore:
         (see :func:`merge_keys`), so repeated batches on one store stay
         near-linear."""
         self.flush()
+        _BATCH_MERGES.inc()
         before = self._keys.size
         self._set_keys(merge_keys(self._keys, pack_pairs(first, second)))
         return self._keys.size - before
@@ -410,6 +419,7 @@ class PairStore:
         """(sorted second column, first column in that order)."""
         self.flush()
         if self._bwd is None:
+            _CSR_BUILDS.inc()
             order = np.argsort(self._second, kind="stable")
             self._bwd = (
                 frozen(self._second[order]),
@@ -432,11 +442,13 @@ class PairStore:
     def forward_indptr(self) -> np.ndarray:
         self.flush()
         if self._fwd_indptr is None:
+            _CSR_BUILDS.inc()
             self._fwd_indptr = frozen(indptr_for(self._first, self.domain_size))
         return self._fwd_indptr
 
     def backward_indptr(self) -> np.ndarray:
         seconds, _ = self.backward()
         if self._bwd_indptr is None:
+            _CSR_BUILDS.inc()
             self._bwd_indptr = frozen(indptr_for(seconds, self.domain_size))
         return self._bwd_indptr

@@ -21,6 +21,7 @@ from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
+from repro.observability.trace import TRACER
 from repro.queries.ast import Query
 
 
@@ -31,7 +32,7 @@ class DatalogLikeEngine(Engine):
     name = "datalog"
     paper_system = "D"
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,
@@ -40,11 +41,19 @@ class DatalogLikeEngine(Engine):
         budget = (budget or EvaluationBudget()).start()
         cache = SymbolRelationCache(graph)
         answers: ResultSet | None = None
-        for rule in query.rules:
-            relations: list[BinaryRelation] = [
-                regex_to_relation(conjunct.regex, cache, budget)
-                for conjunct in rule.body
-            ]
+        for rule_index, rule in enumerate(query.rules):
+            relations: list[BinaryRelation] = []
+            for conjunct_index, conjunct in enumerate(rule.body):
+                with TRACER.span(
+                    "engine.conjunct",
+                    rule=rule_index,
+                    conjunct=conjunct_index,
+                    text=conjunct.to_text(),
+                ) as span:
+                    relation = regex_to_relation(conjunct.regex, cache, budget)
+                    if span:
+                        span.set(rows=len(relation))
+                relations.append(relation)
             rule_answers = join_rule(rule, relations, budget)
             answers = (
                 rule_answers if answers is None else answers.union(rule_answers)

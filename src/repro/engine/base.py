@@ -7,6 +7,7 @@ from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
 from repro.errors import EngineError
 from repro.generation.graph import LabeledGraph
+from repro.observability.trace import TRACER
 from repro.queries.ast import Query, RegularExpression
 from repro.registry import Registry
 
@@ -45,10 +46,34 @@ class Engine:
         query: Query,
         graph: LabeledGraph,
         budget: EvaluationBudget | None = None,
-    ) -> ResultSet:
+        *,
+        profile: bool = False,
+    ):
         """Answers of ``query`` on ``graph`` as a columnar
         :class:`~repro.engine.resultset.ResultSet` (compatible with the
-        seed-era ``set[tuple[int, ...]]`` through its set shim)."""
+        seed-era ``set[tuple[int, ...]]`` through its set shim).
+
+        With ``profile=True`` the evaluation runs under an isolated
+        trace recording and returns an
+        :class:`~repro.observability.profile.EvaluationProfile` instead
+        (the answers stay available as its ``result`` field).  Engines
+        implement :meth:`_evaluate`; overriding ``evaluate`` directly
+        (third-party engines) keeps working — the profiler drives the
+        public method.
+        """
+        if profile:
+            from repro.engine.profiling import profiled_evaluate
+
+            return profiled_evaluate(self, query, graph, budget)
+        with TRACER.span("engine.evaluate", engine=self.name):
+            return self._evaluate(query, graph, budget)
+
+    def _evaluate(
+        self,
+        query: Query,
+        graph: LabeledGraph,
+        budget: EvaluationBudget | None = None,
+    ) -> ResultSet:
         raise NotImplementedError
 
     def count_distinct(

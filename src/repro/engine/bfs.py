@@ -31,6 +31,7 @@ from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
+from repro.observability.trace import TRACER
 from repro.queries.ast import Query, RegularExpression
 
 
@@ -41,7 +42,7 @@ class SparqlLikeEngine(Engine):
     name = "sparql"
     paper_system = "S"
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,
@@ -52,11 +53,21 @@ class SparqlLikeEngine(Engine):
         # One CSR resolution per evaluation: conjuncts sharing symbols
         # reuse the same (indptr, payload) views.
         csr = SymbolCSRCache(graph)
-        for rule in query.rules:
-            relations = [
-                self._regex_relation(conjunct.regex, graph, budget, csr)
-                for conjunct in rule.body
-            ]
+        for rule_index, rule in enumerate(query.rules):
+            relations = []
+            for conjunct_index, conjunct in enumerate(rule.body):
+                with TRACER.span(
+                    "engine.conjunct",
+                    rule=rule_index,
+                    conjunct=conjunct_index,
+                    text=conjunct.to_text(),
+                ) as span:
+                    relation = self._regex_relation(
+                        conjunct.regex, graph, budget, csr
+                    )
+                    if span:
+                        span.set(rows=len(relation))
+                relations.append(relation)
             rule_answers = join_rule(rule, relations, budget)
             answers = (
                 rule_answers if answers is None else answers.union(rule_answers)

@@ -14,6 +14,24 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import EngineBudgetExceeded
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
+
+_log = get_logger("engine.budget")
+_ABORTS = METRICS.counter("engine.budget_aborts")
+
+
+def _abort(message: str, elapsed: float) -> EngineBudgetExceeded:
+    """Build (and log) a budget abort with the active span path attached."""
+    span_path = TRACER.span_path()
+    _ABORTS.inc()
+    _log.warning(
+        "budget abort after %.3fs at %s: %s", elapsed, span_path or "?", message
+    )
+    return EngineBudgetExceeded(
+        message, elapsed_seconds=elapsed, span_path=span_path
+    )
 
 
 @dataclass
@@ -37,18 +55,18 @@ class EvaluationBudget:
         """Raise when the wall-clock budget is spent."""
         elapsed = self.elapsed
         if elapsed > self.timeout_seconds:
-            raise EngineBudgetExceeded(
+            raise _abort(
                 f"evaluation exceeded {self.timeout_seconds:.1f}s "
                 f"(elapsed {elapsed:.1f}s)",
-                elapsed_seconds=elapsed,
+                elapsed,
             )
 
     def check_rows(self, rows: int) -> None:
         """Raise when an intermediate relation outgrows the budget."""
         if rows > self.max_rows:
-            raise EngineBudgetExceeded(
+            raise _abort(
                 f"intermediate result of {rows} rows exceeds cap {self.max_rows}",
-                elapsed_seconds=self.elapsed,
+                self.elapsed,
             )
 
 

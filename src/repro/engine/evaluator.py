@@ -38,10 +38,24 @@ def evaluate_query(
     graph: LabeledGraph,
     engine: str | Engine = "datalog",
     budget: EvaluationBudget | None = None,
+    *,
+    profile: bool = False,
 ) -> ResultSet:
-    """Evaluate ``query`` on ``graph`` with the chosen engine."""
+    """Evaluate ``query`` on ``graph`` with the chosen engine.
+
+    ``profile=True`` returns an
+    :class:`~repro.observability.profile.EvaluationProfile` (estimated
+    vs observed cardinality per conjunct, span tree, metrics snapshot)
+    whose ``result`` field holds the answers.  Routed through
+    :func:`repro.engine.profiling.profiled_evaluate`, which drives the
+    engine's public ``evaluate`` — third-party engines profile too.
+    """
     if isinstance(engine, str):
         engine = ENGINES[engine]
+    if profile:
+        from repro.engine.profiling import profiled_evaluate
+
+        return profiled_evaluate(engine, query, graph, budget)
     return engine.evaluate(query, graph, budget)
 
 

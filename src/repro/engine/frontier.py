@@ -44,7 +44,11 @@ from repro.columnar import (
 from repro.engine.automaton import NFA
 from repro.engine.budget import EvaluationBudget
 from repro.engine.relations import BinaryRelation
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
 from repro.queries.ast import is_inverse, symbol_base
+
+_SWEEPS = METRICS.counter("frontier.sweeps")
 
 
 class SymbolCSRCache:
@@ -119,45 +123,76 @@ def frontier_regex_relation(
     table = nfa.transition_table()
     csr = csr or SymbolCSRCache(graph)
     total_pairs = identity.size
+    _SWEEPS.inc()
+    # Per-level frontier sizes / visited growth and per-(state, symbol)
+    # expansion counts are only gathered when tracing is on; the
+    # disabled path pays one falsy check per level.
+    sweep = TRACER.span("frontier.sweep", states=len(table))
+    levels: list[dict] = []
+    expansions: dict[str, int] = {}
 
-    while frontier:
-        budget.check_time()
-        gathered: dict[int, list[np.ndarray]] = {}
-        for state, keys in frontier.items():
-            moves = table.get(state)
-            if not moves:
-                continue
-            sources, nodes = unpack_keys(keys)
-            for symbol, target_states in moves:
-                entry = csr.get(symbol)
-                if entry is None:
+    with sweep:
+        while frontier:
+            budget.check_time()
+            gathered: dict[int, list[np.ndarray]] = {}
+            for state, keys in frontier.items():
+                moves = table.get(state)
+                if not moves:
                     continue
-                indptr, payload = entry
-                probe_index, successors = expand_indptr(
-                    nodes, indptr, payload, budget.check_rows
+                sources, nodes = unpack_keys(keys)
+                for symbol, target_states in moves:
+                    entry = csr.get(symbol)
+                    if entry is None:
+                        continue
+                    indptr, payload = entry
+                    probe_index, successors = expand_indptr(
+                        nodes, indptr, payload, budget.check_rows
+                    )
+                    if successors.size == 0:
+                        continue
+                    if sweep:
+                        edge = f"{state}:{symbol}"
+                        expansions[edge] = (
+                            expansions.get(edge, 0) + int(successors.size)
+                        )
+                    candidates = pack_pairs(sources[probe_index], successors)
+                    for target_state in target_states:
+                        gathered.setdefault(target_state, []).append(candidates)
+            frontier = {}
+            for state, chunks in gathered.items():
+                candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                fresh, merged = advance_frontier(
+                    candidates, visited.get(state, EMPTY_I64)
                 )
-                if successors.size == 0:
-                    continue
-                candidates = pack_pairs(sources[probe_index], successors)
-                for target_state in target_states:
-                    gathered.setdefault(target_state, []).append(candidates)
-        frontier = {}
-        for state, chunks in gathered.items():
-            candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-            fresh, merged = advance_frontier(
-                candidates, visited.get(state, EMPTY_I64)
-            )
-            if fresh.size:
-                visited[state] = merged
-                frontier[state] = fresh
-                total_pairs += fresh.size
-        budget.check_rows(total_pairs)
+                if fresh.size:
+                    visited[state] = merged
+                    frontier[state] = fresh
+                    total_pairs += fresh.size
+            budget.check_rows(total_pairs)
+            if sweep:
+                levels.append(
+                    {
+                        "level": len(levels),
+                        "frontier": sum(int(k.size) for k in frontier.values()),
+                        "states": len(frontier),
+                        "visited": total_pairs,
+                    }
+                )
 
-    accept_keys = EMPTY_I64
-    for state in nfa.accepting:
-        state_keys = visited.get(state)
-        if state_keys is not None:
-            accept_keys = merge_keys(accept_keys, state_keys, extra_canonical=True)
+        accept_keys = EMPTY_I64
+        for state in nfa.accepting:
+            state_keys = visited.get(state)
+            if state_keys is not None:
+                accept_keys = merge_keys(
+                    accept_keys, state_keys, extra_canonical=True
+                )
+        if sweep:
+            sweep.set(
+                levels=levels,
+                expansions=expansions,
+                visited_pairs=total_pairs,
+                result_pairs=int(accept_keys.size),
+            )
     return BinaryRelation.from_keys(accept_keys)
 
 
@@ -179,28 +214,43 @@ def frontier_reachable_pairs(
     seeds = np.unique(np.asarray(seeds, dtype=np.int64))
     if seeds.size == 0:
         return EMPTY_I64
-    visited = pack_pairs(seeds, seeds)
-    frontier = visited
-    total_pairs = visited.size
-    while frontier.size:
-        budget.check_time()
-        sources, nodes = unpack_keys(frontier)
-        chunks: list[np.ndarray] = []
-        for symbol in symbols:
-            entry = csr.get(symbol)
-            if entry is None:
-                continue
-            probe_index, successors = expand_indptr(
-                nodes, entry[0], entry[1], budget.check_rows
-            )
-            if successors.size:
-                chunks.append(pack_pairs(sources[probe_index], successors))
-        if not chunks:
-            break
-        candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-        frontier, visited = advance_frontier(candidates, visited)
-        total_pairs += frontier.size
-        budget.check_rows(total_pairs)
+    _SWEEPS.inc()
+    with TRACER.span(
+        "frontier.reachable_pairs", seeds=int(seeds.size), symbols=list(symbols)
+    ) as sweep:
+        levels: list[dict] = []
+        visited = pack_pairs(seeds, seeds)
+        frontier = visited
+        total_pairs = visited.size
+        while frontier.size:
+            budget.check_time()
+            sources, nodes = unpack_keys(frontier)
+            chunks: list[np.ndarray] = []
+            for symbol in symbols:
+                entry = csr.get(symbol)
+                if entry is None:
+                    continue
+                probe_index, successors = expand_indptr(
+                    nodes, entry[0], entry[1], budget.check_rows
+                )
+                if successors.size:
+                    chunks.append(pack_pairs(sources[probe_index], successors))
+            if not chunks:
+                break
+            candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            frontier, visited = advance_frontier(candidates, visited)
+            total_pairs += frontier.size
+            budget.check_rows(total_pairs)
+            if sweep:
+                levels.append(
+                    {
+                        "level": len(levels),
+                        "frontier": int(frontier.size),
+                        "visited": total_pairs,
+                    }
+                )
+        if sweep:
+            sweep.set(levels=levels, visited_pairs=int(visited.size))
     return visited
 
 

@@ -67,6 +67,7 @@ from repro.engine.frontier import (
 from repro.columnar import expand_indptr, expand_join
 from repro.errors import EngineCapabilityError
 from repro.generation.graph import LabeledGraph
+from repro.observability.trace import TRACER
 from repro.queries.ast import (
     PathExpression,
     Query,
@@ -228,7 +229,19 @@ class _EvalContext:
 # -- selectivity-driven step order --------------------------------------
 
 
-def _order_steps(steps: Sequence[_Step], ctx: _EvalContext) -> list[_Step]:
+def _step_text(step: _Step) -> str:
+    """Compact step description used in span attributes."""
+    if isinstance(step, _EdgeStep):
+        return f"{step.source}-[{step.symbol}]->{step.target}"
+    labels = "|".join(step.labels) or "ε"
+    return f"{step.source}-[{labels}*]->{step.target}"
+
+
+def _order_steps(
+    steps: Sequence[_Step],
+    ctx: _EvalContext,
+    decisions: list[dict] | None = None,
+) -> list[_Step]:
     """Cardinality-driven greedy order: most selective extension first.
 
     Each candidate step is scored against the variables bound so far:
@@ -286,6 +299,11 @@ def _order_steps(steps: Sequence[_Step], ctx: _EvalContext) -> list[_Step]:
     bound: set[str] = set()
     while remaining:
         best = min(remaining, key=lambda step: cost(step, bound))
+        if decisions is not None:
+            rank, estimate = cost(best, bound)
+            decisions.append(
+                {"step": _step_text(best), "rank": rank, "cost": estimate}
+            )
         remaining.remove(best)
         ordered.append(best)
         bound.add(best.source)
@@ -531,7 +549,7 @@ class CypherLikeEngine(Engine):
     paper_system = "G"
     homomorphic = False
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,
@@ -559,15 +577,27 @@ class CypherLikeEngine(Engine):
         project onto the head (unique rows)."""
         budget = ctx.budget
         bt = _BindingTable()
-        for step in _order_steps(steps, ctx):
-            if isinstance(step, _EdgeStep):
-                _extend_edge_step(bt, step, ctx)
-            else:
-                _extend_var_step(bt, step, ctx)
-            budget.check_rows(bt.row_count)
-            budget.check_time()
-            if bt.row_count == 0:
-                return np.zeros((0, len(rule.head)), dtype=np.int64)
+        with TRACER.span("engine.branch", steps=len(steps)) as branch:
+            decisions: list[dict] | None = [] if branch else None
+            ordered = _order_steps(steps, ctx, decisions)
+            if branch:
+                branch.set(order=decisions)
+            for step in ordered:
+                with TRACER.span("engine.step") as span:
+                    if isinstance(step, _EdgeStep):
+                        _extend_edge_step(bt, step, ctx)
+                    else:
+                        _extend_var_step(bt, step, ctx)
+                    if span:
+                        span.set(
+                            step=_step_text(step),
+                            height=bt.row_count,
+                            width=int(bt.rows.shape[1]),
+                        )
+                budget.check_rows(bt.row_count)
+                budget.check_time()
+                if bt.row_count == 0:
+                    return np.zeros((0, len(rule.head)), dtype=np.int64)
         positions = [bt.var_pos[var] for var in rule.head]
         if not positions:
             # Boolean head: one unit row when the branch matched.

@@ -33,7 +33,7 @@ class ReferenceSparqlEngine(Engine):
     name = "sparql_reference"
     paper_system = "S"
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,

@@ -49,7 +49,7 @@ class ReferenceCypherEngine(Engine):
     paper_system = "G"
     homomorphic = False
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,

@@ -23,6 +23,7 @@ from repro.engine.joins import join_rule
 from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
 from repro.generation.graph import LabeledGraph
+from repro.observability.trace import TRACER
 from repro.queries.ast import PathExpression, Query, RegularExpression, is_inverse, symbol_base
 
 
@@ -57,7 +58,7 @@ class PostgresLikeEngine(Engine):
     name = "postgres"
     paper_system = "P"
 
-    def evaluate(
+    def _evaluate(
         self,
         query: Query,
         graph: LabeledGraph,
@@ -66,13 +67,21 @@ class PostgresLikeEngine(Engine):
         budget = (budget or EvaluationBudget()).start()
         label_cache: dict[str, np.ndarray] = {}
         answers: ResultSet | None = None
-        for rule in query.rules:
-            relations = [
-                _to_relation(
-                    self._regex_rows(conjunct.regex, graph, label_cache, budget)
-                )
-                for conjunct in rule.body
-            ]
+        for rule_index, rule in enumerate(query.rules):
+            relations = []
+            for conjunct_index, conjunct in enumerate(rule.body):
+                with TRACER.span(
+                    "engine.conjunct",
+                    rule=rule_index,
+                    conjunct=conjunct_index,
+                    text=conjunct.to_text(),
+                ) as span:
+                    relation = _to_relation(
+                        self._regex_rows(conjunct.regex, graph, label_cache, budget)
+                    )
+                    if span:
+                        span.set(rows=len(relation))
+                relations.append(relation)
             rule_answers = join_rule(rule, relations, budget)
             answers = (
                 rule_answers if answers is None else answers.union(rule_answers)

@@ -63,9 +63,18 @@ class EngineBudgetExceeded(EngineError):
     """Query evaluation exceeded its time or memory (row) budget.
 
     The experiment harness records these as the failures ("-") reported
-    in Table 4 of the paper.
+    in Table 4 of the paper.  ``span_path`` carries the active tracing
+    span path (``"engine.evaluate/engine.conjunct/..."``) when tracing
+    was on at abort time, so aborts are diagnosable down to the stage
+    or conjunct that blew the budget.
     """
 
-    def __init__(self, message: str, elapsed_seconds: float | None = None):
+    def __init__(
+        self,
+        message: str,
+        elapsed_seconds: float | None = None,
+        span_path: str | None = None,
+    ):
         super().__init__(message)
         self.elapsed_seconds = elapsed_seconds
+        self.span_path = span_path

@@ -30,6 +30,8 @@ from repro.generation.degree_sequences import (
     sample_target_vector,
 )
 from repro.generation.graph import LabeledGraph
+from repro.observability.metrics import timed_stage
+from repro.observability.trace import TRACER
 from repro.rng import ensure_rng
 from repro.schema.config import GraphConfiguration
 from repro.schema.distributions import ZipfianDistribution
@@ -66,8 +68,9 @@ class GraphGenerator:
         """Run Fig. 5 over every edge constraint of the configuration."""
         rng = ensure_rng(seed)
         graph = LabeledGraph(config)
-        for constraint in config.schema.edges.values():
-            self._generate_constraint(graph, config, constraint, rng)
+        with timed_stage("generation.graph", nodes=config.total_nodes):
+            for constraint in config.schema.edges.values():
+                self._generate_constraint(graph, config, constraint, rng)
         return graph
 
     def _generate_constraint(
@@ -77,15 +80,20 @@ class GraphGenerator:
         constraint: EdgeConstraint,
         rng: np.random.Generator,
     ) -> None:
-        batch = self._constraint_arrays(config, constraint, rng)
-        if batch is None:
-            return
-        sources, targets = batch
-        if self.deduplicate:
-            graph.add_edges(constraint.predicate, sources, targets)
-        else:
-            for source, target in zip(sources.tolist(), targets.tolist()):
-                graph.add_edge(source, constraint.predicate, target)
+        with TRACER.span(
+            "generation.constraint", predicate=constraint.predicate
+        ) as span:
+            batch = self._constraint_arrays(config, constraint, rng)
+            if batch is None:
+                return
+            sources, targets = batch
+            if span:
+                span.set(edges=int(sources.size))
+            if self.deduplicate:
+                graph.add_edges(constraint.predicate, sources, targets)
+            else:
+                for source, target in zip(sources.tolist(), targets.tolist()):
+                    graph.add_edge(source, constraint.predicate, target)
 
     def _constraint_arrays(
         self,

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.columnar import EMPTY_I64, PairStore, as_id_array
+from repro.observability.trace import TRACER
 from repro.schema.config import GraphConfiguration
 
 
@@ -94,7 +95,11 @@ class LabeledGraph:
         targets = as_id_array(targets)
         if sources.size == 0:
             return 0
-        return self._store(label).add_batch(sources, targets)
+        with TRACER.span("graph.add_edges", label=label) as span:
+            inserted = self._store(label).add_batch(sources, targets)
+            if span:
+                span.set(batch=int(sources.size), inserted=inserted)
+        return inserted
 
     # -- navigation ---------------------------------------------------
 
@@ -153,16 +158,17 @@ class LabeledGraph:
         (:func:`repro.columnar.expand_indptr`) instead of slicing per
         node.
         """
-        if symbol.endswith("-"):
-            store = self._stores.get(symbol[:-1])
+        with TRACER.span("graph.csr_arrays", symbol=symbol):
+            if symbol.endswith("-"):
+                store = self._stores.get(symbol[:-1])
+                if store is None or not len(store):
+                    return None
+                _, firsts = store.backward()
+                return store.backward_indptr(), firsts
+            store = self._stores.get(symbol)
             if store is None or not len(store):
                 return None
-            _, firsts = store.backward()
-            return store.backward_indptr(), firsts
-        store = self._stores.get(symbol)
-        if store is None or not len(store):
-            return None
-        return store.forward_indptr(), store.second
+            return store.forward_indptr(), store.second
 
     def has_edge(self, source: int, label: str, target: int) -> bool:
         """Membership of one (source, label, target) triple."""

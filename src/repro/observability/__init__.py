@@ -1,0 +1,78 @@
+"""Dependency-free tracing, metrics, logging, and evaluation profiles.
+
+The observability layer answers three questions the benchmark artifacts
+cannot: *where* does time go inside a stage (spans), *how often* do the
+hot paths fire (counters/gauges/histograms), and *how wrong* are the
+selectivity estimates per conjunct (:class:`EvaluationProfile`).
+
+Everything here is standard library only and importable from the lowest
+layer (:mod:`repro.columnar`) without cycles.  Tracing is **disabled by
+default** — the no-op fast path makes an instrumented call one branch —
+and is switched on per capture (``TRACER.recording()``), per process
+(:func:`configure_tracing`), or per query (``evaluate(...,
+profile=True)`` / ``gmark ... --profile``).
+"""
+
+from repro.observability.export import (
+    json_safe,
+    metrics_records,
+    parse_ndjson,
+    render_span_tree,
+    span_records,
+    spans_to_ndjson,
+    to_ndjson,
+    write_ndjson,
+)
+from repro.observability.log import (
+    get_logger,
+    setup_logging,
+    verbosity_level,
+)
+from repro.observability.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    timed_stage,
+)
+from repro.observability.profile import ConjunctProfile, EvaluationProfile
+from repro.observability.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceCapture,
+    Tracer,
+    TRACER,
+    configure_tracing,
+    get_tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "NOOP_SPAN",
+    "TRACER",
+    "ConjunctProfile",
+    "Counter",
+    "EvaluationProfile",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceCapture",
+    "Tracer",
+    "configure_tracing",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "json_safe",
+    "metrics_records",
+    "parse_ndjson",
+    "render_span_tree",
+    "setup_logging",
+    "span_records",
+    "spans_to_ndjson",
+    "timed_stage",
+    "to_ndjson",
+    "write_ndjson",
+]

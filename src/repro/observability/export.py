@@ -1,0 +1,114 @@
+"""Span/metric exporters: flat dicts, NDJSON, and a readable tree.
+
+NDJSON (one JSON object per line) is the interchange format: profiles
+and trace dumps append cheaply, stream to disk, and parse back without
+a framing document.  All exporters coerce attribute values through
+:func:`json_safe`, which duck-types numpy scalars/arrays (``.item()`` /
+``.tolist()``) without importing numpy — the package stays pure
+standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+
+def json_safe(value: Any) -> Any:
+    """Coerce a value into plain JSON types (numpy-aware, no numpy import)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        return json_safe(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):  # 0-d numpy scalars without tolist? (defensive)
+        return json_safe(item())
+    return repr(value)
+
+
+def span_records(spans: Iterable, path: str = "") -> Iterator[dict]:
+    """Depth-first flat records of a span forest.
+
+    Each record carries the span's slash-joined ``path``, its ``depth``,
+    the start offset/duration in seconds, and its attributes — the
+    schema the NDJSON round-trip test pins.
+    """
+    for span in spans:
+        span_path = f"{path}/{span.name}" if path else span.name
+        yield {
+            "record": "span",
+            "name": span.name,
+            "path": span_path,
+            "depth": span_path.count("/"),
+            "start_s": round(span.start_s, 9),
+            "duration_s": round(span.duration_s, 9),
+            "attributes": json_safe(span.attributes),
+        }
+        yield from span_records(span.children, span_path)
+
+
+def to_ndjson(records: Iterable[dict]) -> str:
+    """Serialise records as NDJSON (one compact JSON object per line)."""
+    return "\n".join(
+        json.dumps(json_safe(record), sort_keys=True) for record in records
+    )
+
+
+def spans_to_ndjson(spans: Iterable) -> str:
+    """NDJSON dump of a span forest (flattened depth-first)."""
+    return to_ndjson(span_records(spans))
+
+
+def parse_ndjson(text: str) -> list[dict]:
+    """Parse NDJSON text back into records (blank lines skipped)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def write_ndjson(path, records: Iterable[dict]) -> int:
+    """Write records to ``path`` as NDJSON; returns the line count."""
+    text = to_ndjson(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        if text:
+            handle.write(text + "\n")
+    return 0 if not text else text.count("\n") + 1
+
+
+def render_span_tree(spans: Iterable, indent: str = "") -> str:
+    """Human-readable tree: one line per span with duration + attributes.
+
+    ::
+
+        evaluate  12.3ms  engine=datalog
+          engine.conjunct  8.1ms  rule=0 conjunct=0 rows=420
+    """
+    lines: list[str] = []
+    for span in spans:
+        attrs = " ".join(
+            f"{key}={_compact(value)}"
+            for key, value in span.attributes.items()
+        )
+        line = f"{indent}{span.name}  {span.duration_s * 1e3:.3f}ms"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+        child_text = render_span_tree(span.children, indent + "  ")
+        if child_text:
+            lines.append(child_text)
+    return "\n".join(lines)
+
+
+def _compact(value: Any) -> str:
+    value = json_safe(value)
+    text = json.dumps(value) if isinstance(value, (dict, list)) else str(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def metrics_records(registry, prefix: str = "") -> Iterator[dict]:
+    """One NDJSON-able record per instrument in a metrics registry."""
+    for name, snapshot in registry.snapshot(prefix).items():
+        yield {"record": "metric", "name": name, **json_safe(snapshot)}

@@ -1,0 +1,71 @@
+"""Structured logging for the repro package.
+
+All loggers hang off the ``"repro"`` root so one call configures the
+whole pipeline::
+
+    from repro.observability.log import setup_logging, get_logger
+    setup_logging("INFO")              # or Session(config, log_level="INFO")
+    log = get_logger("selectivity")    # -> logging.Logger "repro.selectivity"
+
+The CLI maps ``-v`` counts through :func:`verbosity_level`
+(0 → WARNING, 1 → INFO, 2+ → DEBUG).  This replaces scattered bare
+``warnings``/print-style reporting: nb_path overflow clamps and budget
+aborts now land in structured logs with their context attached.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marks the handler installed by :func:`setup_logging` (idempotency).
+_HANDLER_TAG = "_repro_observability_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` root (``get_logger("engine")``)."""
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def verbosity_level(count: int) -> int:
+    """Map a ``-v`` repeat count to a logging level."""
+    if count <= 0:
+        return logging.WARNING
+    if count == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(level: int | str = logging.WARNING, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger; idempotent.
+
+    Installs (or reuses) a single stream handler tagged as ours, so
+    repeated calls — e.g. several ``Session`` instances in one process —
+    only adjust the level instead of stacking duplicate handlers.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level: {level}")
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root

@@ -1,0 +1,204 @@
+"""Typed process-local metrics: counters, gauges, histograms.
+
+Instruments live in a :class:`MetricsRegistry` built on the same
+:class:`~repro.registry.Registry` that backs engines, translators,
+scenarios, and graph writers — the one extension-point idiom of the
+package.  Lookups are get-or-create (``METRICS.counter("x").inc()``)
+but *typed*: asking for an existing name with a different instrument
+kind fails loudly, exactly like a duplicate registry key.
+
+Instruments are deliberately cheap — a counter increment is one integer
+add — because layer-level counters (batch merges, CSR builds, cache
+hits) stay on even when tracing is disabled.  Anything per-row or
+per-level belongs behind the tracer's enabled flag instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.registry import Registry
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, cache hits)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last batch size, pool level)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Running distribution summary: count / total / min / max / mean.
+
+    Keeps O(1) state (no sample reservoir) so observations stay cheap
+    on stage-latency paths.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6f})"
+
+
+_Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Process-local named instruments over a :class:`Registry`."""
+
+    def __init__(self, kind: str = "metric"):
+        self._registry: Registry[_Instrument] = Registry(kind)
+
+    def _instrument(self, name: str, cls):
+        existing = self._registry.get(name)
+        if existing is None:
+            existing = cls(name)
+            self._registry.register(name, existing)
+        elif not isinstance(existing, cls):
+            raise TypeError(
+                f"metric {name!r} is a {existing.kind}, not a {cls.kind}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._instrument(name, Histogram)
+
+    # -- mapping-ish access ---------------------------------------------
+
+    def __getitem__(self, name: str) -> _Instrument:
+        return self._registry[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """``{name: instrument.snapshot()}`` for all (matching) names."""
+        return {
+            name: self._registry[name].snapshot()
+            for name in sorted(self._registry)
+            if name.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for name in self._registry:
+            self._registry[name].reset()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({sorted(self._registry)})"
+
+
+#: The process-wide instrument registry (see README metric glossary).
+METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return METRICS
+
+
+@contextmanager
+def timed_stage(name: str, **attributes) -> Iterator[None]:
+    """Span + latency histogram for one pipeline stage.
+
+    Opens a tracer span named ``name`` (no-op while tracing is
+    disabled) and always observes the elapsed seconds into the
+    ``<name>.seconds`` histogram — the per-stage latency signal the
+    benchmark harness and a future metrics endpoint read.
+    """
+    from repro.observability.trace import TRACER
+
+    started = time.perf_counter()
+    with TRACER.span(name, **attributes):
+        try:
+            yield
+        finally:
+            METRICS.histogram(name + ".seconds").observe(
+                time.perf_counter() - started
+            )

@@ -1,0 +1,111 @@
+"""Per-query evaluation profiles: estimated vs observed cardinalities.
+
+An :class:`EvaluationProfile` is the payoff artifact of the
+observability layer — for one evaluated query it pairs every
+conjunct's *estimated* cardinality (from the selectivity class algebra
+of :mod:`repro.selectivity.estimator`) with the *observed* size of that
+conjunct's relation, plus the recorded span tree and a metrics
+snapshot.  This is the feedback signal the estimator-driven planner
+open item needs: a conjunct whose estimate is orders off is exactly
+where the class algebra's alpha exponents disagree with the instance.
+
+Pure standard library; engines construct these via
+:mod:`repro.engine.profiling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.observability.export import json_safe, span_records, to_ndjson
+
+
+@dataclass
+class ConjunctProfile:
+    """One conjunct's estimate-vs-observation pairing."""
+
+    rule: int
+    conjunct: int
+    text: str
+    estimated_cardinality: float | None
+    observed_cardinality: int
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "record": "conjunct",
+            "rule": self.rule,
+            "conjunct": self.conjunct,
+            "text": self.text,
+            "estimated_cardinality": json_safe(self.estimated_cardinality),
+            "observed_cardinality": json_safe(self.observed_cardinality),
+            "seconds": round(self.seconds, 9),
+        }
+
+
+@dataclass
+class EvaluationProfile:
+    """Everything recorded while evaluating one query with one engine."""
+
+    query: str
+    engine: str
+    seconds: float = 0.0
+    answers: int | None = None
+    conjuncts: list[ConjunctProfile] = field(default_factory=list)
+    spans: list[Any] = field(default_factory=list)
+    metrics: dict[str, dict] = field(default_factory=dict)
+    result: Any = None
+
+    def header(self) -> dict[str, Any]:
+        return {
+            "record": "profile",
+            "query": self.query,
+            "engine": self.engine,
+            "seconds": round(self.seconds, 9),
+            "answers": json_safe(self.answers),
+            "conjuncts": len(self.conjuncts),
+        }
+
+    def records(self) -> list[dict[str, Any]]:
+        """Flat NDJSON-able records: header, conjuncts, spans, metrics."""
+        out: list[dict[str, Any]] = [self.header()]
+        out.extend(conjunct.to_dict() for conjunct in self.conjuncts)
+        out.extend(span_records(self.spans))
+        out.extend(
+            {"record": "metric", "name": name, **json_safe(snapshot)}
+            for name, snapshot in sorted(self.metrics.items())
+        )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            **self.header(),
+            "conjuncts": [conjunct.to_dict() for conjunct in self.conjuncts],
+            "spans": list(span_records(self.spans)),
+            "metrics": json_safe(self.metrics),
+        }
+
+    def to_ndjson(self) -> str:
+        return to_ndjson(self.records())
+
+    def render(self) -> str:
+        """Readable multi-line summary (the ``--profile`` console view)."""
+        from repro.observability.export import render_span_tree
+
+        lines = [
+            f"profile: {self.query} engine={self.engine} "
+            f"seconds={self.seconds:.6f} answers={self.answers}"
+        ]
+        for conjunct in self.conjuncts:
+            estimated = conjunct.estimated_cardinality
+            estimated_text = "?" if estimated is None else f"{estimated:g}"
+            lines.append(
+                f"  rule {conjunct.rule} conjunct {conjunct.conjunct} "
+                f"{conjunct.text}: estimated={estimated_text} "
+                f"observed={conjunct.observed_cardinality}"
+            )
+        tree = render_span_tree(self.spans, indent="  ")
+        if tree:
+            lines.append(tree)
+        return "\n".join(lines)

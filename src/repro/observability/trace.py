@@ -1,0 +1,256 @@
+"""Nested-span tracing with a branch-cheap disabled fast path.
+
+The tracer is the "where does time go" half of the observability layer
+(:mod:`repro.observability.metrics` is the "how often" half).  Design
+constraints, in order:
+
+1. **Disabled must be ~free.**  Every hot pipeline stage (frontier
+   sweeps, binding-table joins, CSR builds) calls
+   ``tracer.span(...)``; with tracing off that call is one attribute
+   load, one branch, and the return of a shared singleton — no object
+   allocation, no clock read.  Call sites that want to attach computed
+   attributes guard on the span's truthiness (``if span: span.set(...)``
+   — the no-op span is falsy), so measurement code such as
+   ``len(relation)`` is never executed when disabled.
+2. **Monotonic clock.**  Spans time with ``time.perf_counter`` (a
+   monotonic, high-resolution clock); wall-clock never leaks into
+   durations.
+3. **Thread-local nesting.**  The active-span stack is thread-local, so
+   concurrent evaluations nest correctly; finished root spans collect on
+   the tracer for export.
+
+Pure standard library — importable from the lowest layers
+(:mod:`repro.columnar`) without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed operation: name, structured attributes, children.
+
+    Used as a context manager; entering starts the clock and pushes the
+    span on the tracer's thread-local stack, exiting stops the clock and
+    attaches the span to its parent (or to the tracer's root list).
+    """
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "_tracer")
+
+    def __init__(self, name: str, attributes: dict[str, Any], tracer: "Tracer"):
+        self.name = name
+        self.attributes = attributes
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(self.end_s - self.start_s, 0.0)
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach structured attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: every operation is a no-op.
+
+    Falsy so call sites can skip attribute computation entirely::
+
+        with tracer.span("engine.conjunct") as span:
+            relation = build(...)
+            if span:                      # False when tracing is off
+                span.set(rows=len(relation))
+    """
+
+    __slots__ = ()
+
+    name = "noop"
+    attributes: dict[str, Any] = {}
+    children: tuple = ()
+    duration_s = 0.0
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NOOP_SPAN"
+
+
+#: The singleton returned by every ``span()`` call while disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class TraceCapture:
+    """The spans recorded during one :meth:`Tracer.recording` window."""
+
+    __slots__ = ("roots", "span_count")
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.span_count = 0
+
+    def __repr__(self) -> str:
+        return f"TraceCapture(spans={self.span_count})"
+
+
+class Tracer:
+    """Span factory + thread-local nesting stack + finished-root store.
+
+    ``span_count`` counts spans actually created — the disabled-mode
+    overhead probe asserts it stays zero across a hot sweep, pinning the
+    no-op fast path.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self.span_count = 0
+        self._local = threading.local()
+
+    # -- span creation --------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span (context manager).  The disabled fast path."""
+        if not self.enabled:
+            return NOOP_SPAN
+        self.span_count += 1
+        return Span(name, attributes, self)
+
+    # -- nesting (called by Span.__enter__/__exit__) --------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- introspection --------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The innermost open span of this thread (None when idle)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def span_path(self) -> str | None:
+        """``"outer/inner/..."`` of this thread's open spans, or None.
+
+        This is what budget-abort errors attach so an interrupted
+        evaluation reports *which* stage/conjunct was running.
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return "/".join(span.name for span in stack)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop recorded roots and counters (the stacks too)."""
+        self.roots = []
+        self.span_count = 0
+        self._local = threading.local()
+
+    @contextmanager
+    def recording(self) -> Iterator[TraceCapture]:
+        """Temporarily enable tracing and capture the spans it records.
+
+        The tracer's prior state (enabled flag, roots, span count, and
+        this thread's nesting stack) is saved and restored, so a
+        profiled evaluation inside a disabled session leaves no trace
+        behind — the capture owns the recorded roots exclusively.
+        """
+        previous_enabled = self.enabled
+        previous_roots = self.roots
+        previous_count = self.span_count
+        previous_local = self._local
+        self.roots = []
+        self.span_count = 0
+        self._local = threading.local()
+        self.enabled = True
+        capture = TraceCapture()
+        try:
+            yield capture
+        finally:
+            capture.roots = self.roots
+            capture.span_count = self.span_count
+            self.roots = previous_roots
+            self.span_count = previous_count
+            self._local = previous_local
+            self.enabled = previous_enabled
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, spans={self.span_count})"
+
+
+#: The process-wide tracer every instrumented layer reports to.
+TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled by default)."""
+    return TRACER
+
+
+def configure_tracing(enabled: bool) -> Tracer:
+    """Switch the process-wide tracer on or off; returns it."""
+    TRACER.enabled = enabled
+    return TRACER

@@ -26,6 +26,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GenerationError
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS, timed_stage
+from repro.observability.trace import TRACER
 from repro.queries.ast import (
     Conjunct,
     PathExpression,
@@ -49,6 +52,12 @@ from repro.selectivity.types import SelectivityClass
 
 #: Retries before accepting a query whose estimated class missed target.
 _MAX_ATTEMPTS = 10
+
+_log = get_logger("queries.generator")
+_POOL_REFILLS = METRICS.counter("workload.pool_refills")
+_POOL_INFEASIBLE = METRICS.counter("workload.pool_infeasible")
+_RETRIES = METRICS.counter("workload.retries")
+_RELAXED = METRICS.counter("workload.relaxed")
 
 #: Extra length budget the sampler may use when relaxing (§5.2.4).
 _RELAX_MARGIN = 3
@@ -113,9 +122,12 @@ class WorkloadGenerator:
         """Generate the full workload (Fig. 6's outer loop)."""
         workload = Workload(self.configuration)
         combos = self._combination_cycle()
-        for index in range(self.configuration.size):
-            arity, shape, selectivity = combos[index % len(combos)]
-            workload.queries.append(self.generate_query(shape, selectivity, arity))
+        with timed_stage("workload.generate", size=self.configuration.size):
+            for index in range(self.configuration.size):
+                arity, shape, selectivity = combos[index % len(combos)]
+                workload.queries.append(
+                    self.generate_query(shape, selectivity, arity)
+                )
         return workload
 
     def generate_query(
@@ -128,21 +140,41 @@ class WorkloadGenerator:
         controlled = selectivity is not None and arity == 2
         best: GeneratedQuery | None = None
         attempts = _MAX_ATTEMPTS if controlled else 1
-        for _ in range(attempts):
-            candidate = self._attempt_query(shape, selectivity, arity)
-            if candidate is None:
-                continue
-            if not controlled:
-                return candidate
-            if candidate.estimated_alpha == selectivity.alpha:
-                return candidate
-            if best is None:
-                best = candidate
-        if best is not None:
-            return GeneratedQuery(
-                best.query, best.shape, best.selectivity, best.estimated_alpha,
-                relaxed=True,
-            )
+        with TRACER.span(
+            "workload.query",
+            shape=shape.value,
+            selectivity=getattr(selectivity, "value", None),
+            arity=arity,
+        ) as span:
+            for attempt in range(attempts):
+                if attempt:
+                    _RETRIES.inc()
+                candidate = self._attempt_query(shape, selectivity, arity)
+                if candidate is None:
+                    continue
+                if not controlled:
+                    return candidate
+                if candidate.estimated_alpha == selectivity.alpha:
+                    if span:
+                        span.set(attempts=attempt + 1)
+                    return candidate
+                if best is None:
+                    best = candidate
+            if best is not None:
+                _RELAXED.inc()
+                _log.info(
+                    "selectivity target %s missed for %s query "
+                    "(estimated alpha %s); accepting relaxed candidate",
+                    selectivity,
+                    shape.value,
+                    best.estimated_alpha,
+                )
+                if span:
+                    span.set(attempts=attempts, relaxed=True)
+                return GeneratedQuery(
+                    best.query, best.shape, best.selectivity,
+                    best.estimated_alpha, relaxed=True,
+                )
         raise GenerationError(
             f"could not generate any {shape.value} query for the schema "
             f"{self.schema.name!r} (selectivity={selectivity})"
@@ -263,11 +295,13 @@ class WorkloadGenerator:
             self._pools[key] = entry
         paths, refill = entry
         if not paths:
+            _POOL_REFILLS.inc()
             paths = self.sampler.sample_paths_in_range(
                 starts, targets, l_min, l_max, refill, self.rng,
                 relax_to=relax_to,
             )
             if not paths:
+                _POOL_INFEASIBLE.inc()
                 self._pools[key] = None
                 return None
             entry[0] = paths

@@ -45,8 +45,14 @@ import warnings
 import numpy as np
 
 from repro.columnar import segmented_weighted_choice
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
 from repro.rng import ensure_rng
 from repro.selectivity.schema_graph import SchemaGraph, SchemaGraphNode
+
+_log = get_logger("selectivity.sampler")
+_TABLE_EXTENSIONS = METRICS.counter("sampler.table_extensions")
+_BATCH_DRAWS = METRICS.counter("sampler.batch_draws")
 
 
 class NbPathOverflowWarning(RuntimeWarning):
@@ -202,6 +208,11 @@ class PathSampler:
         while len(table.rows) <= max_length:
             previous = table.rows[-1]
             if not table.overflowed and int(previous.max(initial=0)) > self._safe_level_max:
+                _log.warning(
+                    "nb_path counts exceed int64 at level %d; falling back "
+                    "to float64 weights",
+                    len(table.rows),
+                )
                 warnings.warn(
                     "nb_path counts exceed int64; falling back to float64 "
                     "weights (draws stay proportional, exact counting is "
@@ -211,6 +222,7 @@ class PathSampler:
                 )
                 table.overflowed = True
                 previous = previous.astype(np.float64)
+            _TABLE_EXTENSIONS.inc()
             table.rows.append(self._counts_matrix @ previous)
         return table
 
@@ -335,6 +347,7 @@ class PathSampler:
         """
         count = lengths.size
         max_len = int(lengths.max(initial=0))
+        _BATCH_DRAWS.inc()
         stack = table.stacked()
 
         # Longest walks first: at every step the still-walking walkers

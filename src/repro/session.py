@@ -31,6 +31,8 @@ from repro.engine.resultset import ResultSet
 from repro.generation.generator import generate_graph
 from repro.generation.graph import LabeledGraph
 from repro.generation.writers import GRAPH_WRITERS
+from repro.observability.log import setup_logging
+from repro.observability.metrics import METRICS, timed_stage
 from repro.queries.ast import Query
 from repro.queries.generator import generate_workload
 from repro.queries.parser import parse_query
@@ -44,9 +46,17 @@ from repro.translate import TRANSLATORS
 class Session:
     """Cached schema → graph → workload → translate → evaluate driver."""
 
-    def __init__(self, config: GraphConfiguration, *, seed: int | None = None):
+    def __init__(
+        self,
+        config: GraphConfiguration,
+        *,
+        seed: int | None = None,
+        log_level: int | str | None = None,
+    ):
         self.config = config
         self.seed = seed
+        if log_level is not None:
+            setup_logging(log_level)
         self._graphs: dict[int | None, LabeledGraph] = {}
         self._workloads: dict[tuple, Workload] = {}
         self._queries: dict[str, Query] = {}
@@ -55,23 +65,44 @@ class Session:
 
     @classmethod
     def from_scenario(
-        cls, name: str, nodes: int, *, seed: int | None = None
+        cls,
+        name: str,
+        nodes: int,
+        *,
+        seed: int | None = None,
+        log_level: int | str | None = None,
     ) -> "Session":
         """Session over a built-in scenario ('bib', 'lsn', 'sp', 'wd')."""
-        return cls(GraphConfiguration(nodes, scenario_schema(name)), seed=seed)
+        return cls(
+            GraphConfiguration(nodes, scenario_schema(name)),
+            seed=seed,
+            log_level=log_level,
+        )
 
     @classmethod
-    def from_config_xml(cls, xml: str, *, seed: int | None = None) -> "Session":
+    def from_config_xml(
+        cls,
+        xml: str,
+        *,
+        seed: int | None = None,
+        log_level: int | str | None = None,
+    ) -> "Session":
         """Session from a graph-configuration XML document (text)."""
-        return cls(graph_config_from_xml(xml), seed=seed)
+        return cls(graph_config_from_xml(xml), seed=seed, log_level=log_level)
 
     @classmethod
     def from_config_file(
-        cls, path: str | os.PathLike, *, seed: int | None = None
+        cls,
+        path: str | os.PathLike,
+        *,
+        seed: int | None = None,
+        log_level: int | str | None = None,
     ) -> "Session":
         """Session from a graph-configuration XML file."""
         with open(path, encoding="utf-8") as handle:
-            return cls.from_config_xml(handle.read(), seed=seed)
+            return cls.from_config_xml(
+                handle.read(), seed=seed, log_level=log_level
+            )
 
     # -- schema ---------------------------------------------------------
 
@@ -101,8 +132,12 @@ class Session:
         effective = self._seed(seed)
         graph = self._graphs.get(effective)
         if graph is None:
-            graph = generate_graph(self.config, effective)
+            METRICS.counter("session.graph.cache_misses").inc()
+            with timed_stage("session.graph", seed=effective):
+                graph = generate_graph(self.config, effective)
             self._graphs[effective] = graph
+        else:
+            METRICS.counter("session.graph.cache_hits").inc()
         return graph
 
     def write_graph(
@@ -142,10 +177,13 @@ class Session:
             except TypeError:
                 key = None
         if key is not None and key in self._workloads:
+            METRICS.counter("session.workload.cache_hits").inc()
             return self._workloads[key]
+        METRICS.counter("session.workload.cache_misses").inc()
         if configuration is None:
             configuration = self.workload_configuration(size, **options)
-        workload = generate_workload(configuration, effective)
+        with timed_stage("session.workload", size=size):
+            workload = generate_workload(configuration, effective)
         if key is not None:
             self._workloads[key] = workload
         return workload
@@ -174,8 +212,11 @@ class Session:
             return text
         query = self._queries.get(text)
         if query is None:
+            METRICS.counter("session.query.cache_misses").inc()
             query = parse_query(text)
             self._queries[text] = query
+        else:
+            METRICS.counter("session.query.cache_hits").inc()
         return query
 
     def evaluate(
@@ -185,9 +226,18 @@ class Session:
         *,
         budget: EvaluationBudget | None = None,
         seed: int | None = None,
+        profile: bool = False,
     ) -> ResultSet:
-        """Columnar answers of ``query`` on this session's instance."""
-        return evaluate_query(self.query(query), self.graph(seed), engine, budget)
+        """Columnar answers of ``query`` on this session's instance.
+
+        ``profile=True`` returns an
+        :class:`~repro.observability.profile.EvaluationProfile` (the
+        answers stay on its ``result`` field).
+        """
+        parsed = self.query(query)
+        graph = self.graph(seed)
+        with timed_stage("session.evaluate"):
+            return evaluate_query(parsed, graph, engine, budget, profile=profile)
 
     def count_distinct(
         self,
@@ -198,7 +248,10 @@ class Session:
         seed: int | None = None,
     ) -> int:
         """The §7.1 ``count(distinct ?v)`` measurement — array-side."""
-        return count_distinct(self.query(query), self.graph(seed), engine, budget)
+        parsed = self.query(query)
+        graph = self.graph(seed)
+        with timed_stage("session.evaluate"):
+            return count_distinct(parsed, graph, engine, budget)
 
     def __repr__(self) -> str:
         return (
