@@ -83,32 +83,48 @@ def write_bench_artifact(path: pathlib.Path, results: dict) -> None:
 
 
 def disabled_probe() -> None:
-    """Assert tracing is off and stays a no-op on a hot frontier sweep.
+    """Assert the observability and governance layers stay no-ops.
 
     Part of every benchmark's floor check: the numbers are only valid
-    if the instrumentation layer was dormant while they were measured.
+    if tracing was dormant, no fault plan was armed, and resource
+    governance (enabled but unlimited) neither degraded execution nor
+    aborted anything while they were measured.
     """
     from repro.engine.automaton import build_nfa
     from repro.engine.budget import unlimited
     from repro.engine.frontier import frontier_regex_relation
+    from repro.execution.faults import FAULTS
     from repro.generation.generator import generate_graph
+    from repro.observability.metrics import METRICS
     from repro.observability.trace import TRACER
     from repro.queries.parser import parse_regex
     from repro.scenarios import scenario_schema
     from repro.schema.config import GraphConfiguration
 
     assert TRACER.enabled is False, "tracing must stay disabled in benchmarks"
-    before = TRACER.span_count
+    assert FAULTS.armed is False, "no fault plan may be armed in benchmarks"
+    before_spans = TRACER.span_count
+    before_degraded = METRICS.counter("execution.degraded").value
+    before_aborts = METRICS.counter("engine.budget_aborts").value
     graph = generate_graph(
-        GraphConfiguration(500, scenario_schema("bib")), seed=7
+        GraphConfiguration(500, scenario_schema("bib")), seed=7,
+        budget=unlimited(),
     )
     frontier_regex_relation(build_nfa(parse_regex("authors.publishedIn")),
                             graph, unlimited())
-    after = TRACER.span_count
-    assert after == before, (
-        f"disabled tracer recorded {after - before} spans on a hot sweep"
+    after_spans = TRACER.span_count
+    assert after_spans == before_spans, (
+        f"disabled tracer recorded {after_spans - before_spans} spans "
+        "on a hot sweep"
     )
-    print("disabled-tracer probe: ok (0 spans recorded)", file=sys.stderr)
+    assert METRICS.counter("execution.degraded").value == before_degraded, (
+        "idle governance degraded execution during the probe sweep"
+    )
+    assert METRICS.counter("engine.budget_aborts").value == before_aborts, (
+        "idle governance aborted during the probe sweep"
+    )
+    print("disabled-tracer/governance probe: ok (0 spans, 0 degradations, "
+          "0 aborts)", file=sys.stderr)
 
 
 def publish(name: str, text: str) -> None:

@@ -9,12 +9,19 @@ Subcommands::
     gmark translate         --workload wl.xml --dialect sparql
     gmark evaluate          --scenario bib --nodes N --query "(?x,?y) <- ..."
                             [--engine datalog] [--profile]
+                            [--timeout S] [--max-rows N] [--max-bytes N]
+                            [--on-budget raise|partial] [--abort-report PATH]
 
 Every command accepts ``--seed`` for reproducibility and ``-v``/``-vv``
 (before the subcommand) for structured logging on stderr.
 ``evaluate --profile`` writes an NDJSON evaluation profile — per-conjunct
 estimated vs. observed cardinality, spans, and metric counters — next to
-the printed count (``--profile-output``, default ``profile.ndjson``).  All commands
+the printed count (``--profile-output``, default ``profile.ndjson``).
+The budget flags build an :class:`~repro.execution.ExecutionContext`:
+a budget abort under ``--on-budget raise`` (the default) exits with
+code 3, while ``--on-budget partial`` prints the count of the answers
+found before the abort and warns on stderr; ``--abort-report`` dumps
+the abort diagnostics as NDJSON either way.  All commands
 drive one :class:`~repro.session.Session` (cached schema → graph →
 workload pipeline), and the extension points — engines, translators,
 scenarios, graph writers — resolve through their shared registries, so
@@ -30,12 +37,17 @@ import sys
 
 from repro.config.xml_io import workload_config_from_xml
 from repro.engine.evaluator import ENGINES
+from repro.errors import EngineBudgetExceeded, ExecutionCancelled
+from repro.execution import ON_BUDGET_MODES, AbortReport, ExecutionContext
 from repro.generation.writers import GRAPH_WRITERS
 from repro.observability.export import write_ndjson
 from repro.observability.log import setup_logging, verbosity_level
 from repro.scenarios import SCENARIOS
 from repro.session import Session
 from repro.translate import TRANSLATORS, workload_from_xml, workload_to_xml
+
+#: Exit code for a budget abort under ``--on-budget raise``.
+EXIT_BUDGET_ABORT = 3
 
 
 def _session(args) -> Session:
@@ -108,20 +120,65 @@ def _cmd_translate(args) -> int:
     return 0
 
 
+def _budget_from_args(args) -> ExecutionContext | None:
+    """An :class:`ExecutionContext` from the evaluate flags, or None."""
+    flags = (args.timeout, args.max_rows, args.max_bytes, args.on_budget)
+    if all(flag is None for flag in flags):
+        return None
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_seconds"] = args.timeout
+    if args.max_rows is not None:
+        kwargs["max_rows"] = args.max_rows
+    if args.max_bytes is not None:
+        kwargs["max_bytes"] = args.max_bytes
+    return ExecutionContext(on_budget=args.on_budget or "raise", **kwargs)
+
+
+def _write_abort_report(args, report) -> None:
+    if args.abort_report and report is not None:
+        lines = write_ndjson(args.abort_report, report.records())
+        print(f"wrote {lines} abort records to {args.abort_report}",
+              file=sys.stderr)
+
+
 def _cmd_evaluate(args) -> int:
     session = _session(args)
-    if args.profile:
-        profile = session.evaluate(args.query, args.engine, profile=True)
-        lines = write_ndjson(args.profile_output, profile.records())
-        print(profile.render(), file=sys.stderr)
-        print(f"wrote {lines} profile records to {args.profile_output}",
-              file=sys.stderr)
-        print(profile.result.count_distinct())
+    budget = _budget_from_args(args)
+    try:
+        if args.profile:
+            profile = session.evaluate(
+                args.query, args.engine, budget=budget, profile=True
+            )
+            lines = write_ndjson(args.profile_output, profile.records())
+            print(profile.render(), file=sys.stderr)
+            print(f"wrote {lines} profile records to {args.profile_output}",
+                  file=sys.stderr)
+            print(profile.result.count_distinct())
+            return 0
+        if budget is None:
+            # ResultSet.count_distinct(): the count resolves array-side,
+            # no tuple materialization at the CLI boundary.
+            print(session.count_distinct(args.query, args.engine))
+            return 0
+        result = session.evaluate(args.query, args.engine, budget=budget)
+        if not result.complete:
+            report = result.abort_report
+            print(f"warning: partial result ({report.reason})",
+                  file=sys.stderr)
+            _write_abort_report(args, report)
+        print(result.count_distinct())
         return 0
-    # ResultSet.count_distinct(): the count resolves array-side, no
-    # tuple materialization at the CLI boundary.
-    print(session.count_distinct(args.query, args.engine))
-    return 0
+    except (EngineBudgetExceeded, ExecutionCancelled) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if budget is not None:
+            _write_abort_report(
+                args,
+                AbortReport.from_exception(
+                    exc, peak_bytes=budget.peak_bytes, events=budget.events
+                ),
+            )
+        return EXIT_BUDGET_ABORT
 
 
 def _cmd_export_config(args) -> int:
@@ -179,6 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-output",
         default="profile.ndjson",
         help="NDJSON path for --profile (default: %(default)s)",
+    )
+    p_ev.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock evaluation deadline",
+    )
+    p_ev.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="cap on intermediate result rows",
+    )
+    p_ev.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="cap on live columnar bytes during evaluation",
+    )
+    p_ev.add_argument(
+        "--on-budget", choices=ON_BUDGET_MODES, default=None,
+        help="budget-abort policy: raise (exit code 3) or partial "
+        "(return the answers found so far, flagged incomplete)",
+    )
+    p_ev.add_argument(
+        "--abort-report", default=None, metavar="PATH",
+        help="write abort diagnostics (reason, peak bytes, degraded "
+        "events) as NDJSON when a budget fires",
     )
     p_ev.set_defaults(func=_cmd_evaluate)
 

@@ -24,12 +24,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.execution.faults import FAULTS, fault_point
 from repro.observability.metrics import METRICS
 
 # Always-on store counters (one integer add each; see README glossary).
 _BATCH_MERGES = METRICS.counter("columnar.batch_merges")
 _FLUSHES = METRICS.counter("columnar.flushes")
 _CSR_BUILDS = METRICS.counter("columnar.csr_builds")
+
+# Chaos-test injection points (disarmed: one None check per hit).
+_FP_BATCH_MERGE = fault_point("columnar.batch_merge")
+_FP_FLUSH = fault_point("columnar.flush")
+_FP_CSR_BUILD = fault_point("columnar.csr_build")
 
 #: Bit width of one packed coordinate.
 KEY_BITS = 32
@@ -346,8 +352,11 @@ class PairStore:
         return store
 
     def _set_keys(self, keys: np.ndarray) -> None:
-        self._keys = frozen(keys)
+        # Derive every dependent column *before* publishing any of them:
+        # an allocation failure mid-unpack must leave the store on its
+        # previous, fully consistent state (the chaos suite pins this).
         first, second = unpack_keys(keys)
+        self._keys = frozen(keys)
         self._first = frozen(first)
         self._second = frozen(second)
         self._bwd: tuple[np.ndarray, np.ndarray] | None = None
@@ -357,6 +366,7 @@ class PairStore:
     def flush(self) -> None:
         if self._pending:
             _FLUSHES.inc()
+            FAULTS.hit(_FP_FLUSH)
             self._set_keys(
                 merge_keys(
                     self._keys,
@@ -389,6 +399,7 @@ class PairStore:
         near-linear."""
         self.flush()
         _BATCH_MERGES.inc()
+        FAULTS.hit(_FP_BATCH_MERGE)
         before = self._keys.size
         self._set_keys(merge_keys(self._keys, pack_pairs(first, second)))
         return self._keys.size - before
@@ -397,6 +408,32 @@ class PairStore:
 
     def __len__(self) -> int:
         return self._keys.size + len(self._pending)
+
+    @property
+    def nbytes(self) -> int:
+        """Live bytes of the key/id columns (excludes lazy CSR caches)."""
+        return (
+            self._keys.nbytes
+            + self._first.nbytes
+            + self._second.nbytes
+            + 8 * len(self._pending)
+        )
+
+    def self_check(self) -> None:
+        """Assert internal invariants (chaos-suite consistency probe).
+
+        Verifies the finalised column is sorted-unique, the unpacked id
+        columns agree with it, and pending keys are disjoint from it.
+        Raises :class:`AssertionError` on any violation.
+        """
+        keys = self._keys
+        assert keys.size == self._first.size == self._second.size
+        if keys.size:
+            assert bool(np.all(keys[1:] > keys[:-1])), "keys not sorted-unique"
+            repacked = (self._first << KEY_BITS) | self._second
+            assert bool(np.all(repacked == keys)), "id columns out of sync"
+        for key in self._pending:
+            assert not keys_contain(keys, key), "pending key already finalised"
 
     @property
     def keys(self) -> np.ndarray:
@@ -420,6 +457,7 @@ class PairStore:
         self.flush()
         if self._bwd is None:
             _CSR_BUILDS.inc()
+            FAULTS.hit(_FP_CSR_BUILD)
             order = np.argsort(self._second, kind="stable")
             self._bwd = (
                 frozen(self._second[order]),
@@ -443,6 +481,7 @@ class PairStore:
         self.flush()
         if self._fwd_indptr is None:
             _CSR_BUILDS.inc()
+            FAULTS.hit(_FP_CSR_BUILD)
             self._fwd_indptr = frozen(indptr_for(self._first, self.domain_size))
         return self._fwd_indptr
 
@@ -450,5 +489,6 @@ class PairStore:
         seconds, _ = self.backward()
         if self._bwd_indptr is None:
             _CSR_BUILDS.inc()
+            FAULTS.hit(_FP_CSR_BUILD)
             self._bwd_indptr = frozen(indptr_for(seconds, self.domain_size))
         return self._bwd_indptr

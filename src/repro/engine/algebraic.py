@@ -58,6 +58,7 @@ class DatalogLikeEngine(Engine):
             answers = (
                 rule_answers if answers is None else answers.union(rule_answers)
             )
+            budget.stash_partial(answers)
             budget.check_rows(answers.count())
         return answers if answers is not None else ResultSet.empty()
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.engine.budget import EvaluationBudget
 from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
-from repro.errors import EngineError
+from repro.errors import EngineBudgetExceeded, EngineError, ExecutionCancelled
 from repro.generation.graph import LabeledGraph
 from repro.observability.trace import TRACER
 from repro.queries.ast import Query, RegularExpression
@@ -60,13 +60,28 @@ class Engine:
         implement :meth:`_evaluate`; overriding ``evaluate`` directly
         (third-party engines) keeps working — the profiler drives the
         public method.
+
+        When ``budget`` is an :class:`~repro.execution.context.
+        ExecutionContext` with ``on_budget="partial"``, a budget abort
+        (or cooperative cancellation) returns the answers accumulated so
+        far as a ResultSet flagged incomplete — with an
+        :class:`~repro.execution.context.AbortReport` attached — instead
+        of raising.
         """
         if profile:
             from repro.engine.profiling import profiled_evaluate
 
             return profiled_evaluate(self, query, graph, budget)
         with TRACER.span("engine.evaluate", engine=self.name):
-            return self._evaluate(query, graph, budget)
+            try:
+                return self._evaluate(query, graph, budget)
+            except (EngineBudgetExceeded, ExecutionCancelled) as exc:
+                partial = None
+                if budget is not None:
+                    partial = budget.partial_result(exc, query.arity)
+                if partial is None:
+                    raise
+                return partial
 
     def _evaluate(
         self,

@@ -6,68 +6,28 @@ running times" (§7.2).  A budget caps wall-clock time and intermediate
 row counts; exceeding either raises
 :class:`~repro.errors.EngineBudgetExceeded`, which the experiment
 harness records as a failure ("-") instead of hanging the benchmark.
+
+The implementation now lives in :mod:`repro.execution.budget` as
+:class:`~repro.execution.budget.ResourceBudget`, which additionally
+governs live memory (``max_bytes``) and cooperative cancellation.
+:class:`EvaluationBudget` remains as the engine-facing name so every
+existing import and call site keeps working; pass an
+:class:`~repro.execution.context.ExecutionContext` anywhere a budget is
+accepted to opt into graceful degradation and partial results.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import EngineBudgetExceeded
-from repro.observability.log import get_logger
-from repro.observability.metrics import METRICS
-from repro.observability.trace import TRACER
+from repro.execution.budget import CancellationToken, ResourceBudget
 
-_log = get_logger("engine.budget")
-_ABORTS = METRICS.counter("engine.budget_aborts")
-
-
-def _abort(message: str, elapsed: float) -> EngineBudgetExceeded:
-    """Build (and log) a budget abort with the active span path attached."""
-    span_path = TRACER.span_path()
-    _ABORTS.inc()
-    _log.warning(
-        "budget abort after %.3fs at %s: %s", elapsed, span_path or "?", message
-    )
-    return EngineBudgetExceeded(
-        message, elapsed_seconds=elapsed, span_path=span_path
-    )
+__all__ = ["CancellationToken", "EvaluationBudget", "ResourceBudget", "unlimited"]
 
 
 @dataclass
-class EvaluationBudget:
+class EvaluationBudget(ResourceBudget):
     """Per-query limits on time and intermediate result size."""
-
-    timeout_seconds: float = 60.0
-    max_rows: int = 5_000_000
-    _started: float = field(default=0.0, repr=False)
-
-    def start(self) -> "EvaluationBudget":
-        """Arm the clock; returns self for chaining."""
-        self._started = time.monotonic()
-        return self
-
-    @property
-    def elapsed(self) -> float:
-        return time.monotonic() - self._started
-
-    def check_time(self) -> None:
-        """Raise when the wall-clock budget is spent."""
-        elapsed = self.elapsed
-        if elapsed > self.timeout_seconds:
-            raise _abort(
-                f"evaluation exceeded {self.timeout_seconds:.1f}s "
-                f"(elapsed {elapsed:.1f}s)",
-                elapsed,
-            )
-
-    def check_rows(self, rows: int) -> None:
-        """Raise when an intermediate relation outgrows the budget."""
-        if rows > self.max_rows:
-            raise _abort(
-                f"intermediate result of {rows} rows exceeds cap {self.max_rows}",
-                self.elapsed,
-            )
 
 
 def unlimited() -> EvaluationBudget:

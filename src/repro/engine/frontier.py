@@ -6,9 +6,11 @@ keeps one packed key column per "colour" (an NFA state, or just the
 single colour of plain reachability) and advances *all* of its members
 per level in a handful of numpy passes:
 
-1. **gather** — :func:`repro.columnar.expand_indptr` expands the whole
-   frontier's successor rows through a symbol's ``(indptr, payload)``
-   CSR index at once;
+1. **gather** — :func:`repro.execution.degrade.gather_pair_keys`
+   expands the whole frontier's successor rows through a symbol's
+   ``(indptr, payload)`` CSR index at once (falling back to chunked
+   slices under an :class:`~repro.execution.context.ExecutionContext`
+   when the gather would blow the row/memory cap);
 2. **route** — candidates are packed ``(source, node)`` keys and
    appended to every NFA target state of the transition;
 3. **dedup + difference + merge** —
@@ -35,7 +37,6 @@ import numpy as np
 from repro.columnar import (
     EMPTY_I64,
     advance_frontier,
-    expand_indptr,
     indptr_for,
     merge_keys,
     pack_pairs,
@@ -44,11 +45,14 @@ from repro.columnar import (
 from repro.engine.automaton import NFA
 from repro.engine.budget import EvaluationBudget
 from repro.engine.relations import BinaryRelation
+from repro.execution.degrade import gather_pair_keys, gather_values
+from repro.execution.faults import FAULTS, fault_point
 from repro.observability.metrics import METRICS
 from repro.observability.trace import TRACER
 from repro.queries.ast import is_inverse, symbol_base
 
 _SWEEPS = METRICS.counter("frontier.sweeps")
+_FP_ADVANCE = fault_point("frontier.advance")
 
 
 class SymbolCSRCache:
@@ -134,6 +138,7 @@ def frontier_regex_relation(
     with sweep:
         while frontier:
             budget.check_time()
+            FAULTS.hit(_FP_ADVANCE)
             gathered: dict[int, list[np.ndarray]] = {}
             for state, keys in frontier.items():
                 moves = table.get(state)
@@ -145,17 +150,14 @@ def frontier_regex_relation(
                     if entry is None:
                         continue
                     indptr, payload = entry
-                    probe_index, successors = expand_indptr(
-                        nodes, indptr, payload, budget.check_rows
+                    candidates, raw_total = gather_pair_keys(
+                        sources, nodes, indptr, payload, budget
                     )
-                    if successors.size == 0:
+                    if candidates.size == 0:
                         continue
                     if sweep:
                         edge = f"{state}:{symbol}"
-                        expansions[edge] = (
-                            expansions.get(edge, 0) + int(successors.size)
-                        )
-                    candidates = pack_pairs(sources[probe_index], successors)
+                        expansions[edge] = expansions.get(edge, 0) + raw_total
                     for target_state in target_states:
                         gathered.setdefault(target_state, []).append(candidates)
             frontier = {}
@@ -169,6 +171,7 @@ def frontier_regex_relation(
                     frontier[state] = fresh
                     total_pairs += fresh.size
             budget.check_rows(total_pairs)
+            budget.check_bytes(total_pairs * 8)
             if sweep:
                 levels.append(
                     {
@@ -224,23 +227,25 @@ def frontier_reachable_pairs(
         total_pairs = visited.size
         while frontier.size:
             budget.check_time()
+            FAULTS.hit(_FP_ADVANCE)
             sources, nodes = unpack_keys(frontier)
             chunks: list[np.ndarray] = []
             for symbol in symbols:
                 entry = csr.get(symbol)
                 if entry is None:
                     continue
-                probe_index, successors = expand_indptr(
-                    nodes, entry[0], entry[1], budget.check_rows
+                candidates, _ = gather_pair_keys(
+                    sources, nodes, entry[0], entry[1], budget
                 )
-                if successors.size:
-                    chunks.append(pack_pairs(sources[probe_index], successors))
+                if candidates.size:
+                    chunks.append(candidates)
             if not chunks:
                 break
             candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
             frontier, visited = advance_frontier(candidates, visited)
             total_pairs += frontier.size
             budget.check_rows(total_pairs)
+            budget.check_bytes(total_pairs * 8)
             if sweep:
                 levels.append(
                     {
@@ -270,14 +275,13 @@ def frontier_reachable(
     frontier = visited
     while frontier.size:
         budget.check_time()
+        FAULTS.hit(_FP_ADVANCE)
         chunks: list[np.ndarray] = []
         for symbol in symbols:
             entry = csr.get(symbol)
             if entry is None:
                 continue
-            _, successors = expand_indptr(
-                frontier, entry[0], entry[1], budget.check_rows
-            )
+            successors = gather_values(frontier, entry[0], entry[1], budget)
             if successors.size:
                 chunks.append(successors)
         if not chunks:

@@ -65,7 +65,8 @@ from repro.engine.frontier import (
     frontier_regex_relation,
 )
 from repro.columnar import expand_indptr, expand_join
-from repro.errors import EngineCapabilityError
+from repro.errors import EngineBudgetExceeded, EngineCapabilityError
+from repro.execution.degrade import split_ranges
 from repro.generation.graph import LabeledGraph
 from repro.observability.trace import TRACER
 from repro.queries.ast import (
@@ -340,6 +341,29 @@ class _BindingTable:
         self.var_pos[var] = rows.shape[1]
         self.rows = np.column_stack((rows, column))
 
+    def slice(self, start: int, stop: int) -> "_BindingTable":
+        """An independent table over a row range (column maps copied).
+
+        The row matrix is a view; every extension replaces ``rows``
+        wholesale, so slices never write through to the parent.
+        """
+        piece = _BindingTable()
+        piece.rows = self.rows[start:stop]
+        piece.var_pos = dict(self.var_pos)
+        piece.edge_cols = {label: list(cols) for label, cols in self.edge_cols.items()}
+        return piece
+
+    def snapshot(self) -> tuple:
+        """Capture state for transactional restore around one step."""
+        return (
+            self.rows,
+            dict(self.var_pos),
+            {label: list(cols) for label, cols in self.edge_cols.items()},
+        )
+
+    def restore(self, state: tuple) -> None:
+        self.rows, self.var_pos, self.edge_cols = state
+
 
 def _cross_product(
     table: np.ndarray,
@@ -564,6 +588,13 @@ class CypherLikeEngine(Engine):
                 table = self._join_branch(rule, branch, ctx)
                 if table.shape[0]:
                     tables.append(table)
+                    if budget.wants_partial:
+                        combined = (
+                            tables[0]
+                            if len(tables) == 1
+                            else np.concatenate(tables)
+                        )
+                        budget.stash_partial(ResultSet.from_table(combined))
                 budget.check_time()
         if not tables:
             return ResultSet.empty(arity)
@@ -575,34 +606,95 @@ class CypherLikeEngine(Engine):
     ) -> np.ndarray:
         """Evaluate one branch: extend the table a step at a time and
         project onto the head (unique rows)."""
-        budget = ctx.budget
         bt = _BindingTable()
         with TRACER.span("engine.branch", steps=len(steps)) as branch:
             decisions: list[dict] | None = [] if branch else None
             ordered = _order_steps(steps, ctx, decisions)
             if branch:
                 branch.set(order=decisions)
-            for step in ordered:
-                with TRACER.span("engine.step") as span:
-                    if isinstance(step, _EdgeStep):
-                        _extend_edge_step(bt, step, ctx)
-                    else:
-                        _extend_var_step(bt, step, ctx)
-                    if span:
-                        span.set(
-                            step=_step_text(step),
-                            height=bt.row_count,
-                            width=int(bt.rows.shape[1]),
-                        )
-                budget.check_rows(bt.row_count)
-                budget.check_time()
-                if bt.row_count == 0:
-                    return np.zeros((0, len(rule.head)), dtype=np.int64)
+            bt = _run_steps(bt, ordered, 0, ctx)
+        if bt.row_count == 0:
+            return np.zeros((0, len(rule.head)), dtype=np.int64)
         positions = [bt.var_pos[var] for var in rule.head]
         if not positions:
             # Boolean head: one unit row when the branch matched.
             return np.zeros((min(bt.row_count, 1), 0), dtype=np.int64)
         return unique_rows(bt.rows[:, positions])
+
+
+def _run_steps(
+    bt: _BindingTable, ordered: list[_Step], position: int, ctx: _EvalContext
+) -> _BindingTable:
+    """Run steps ``position:`` over the table; the extended table.
+
+    The degradation seam of the isomorphic engine: *proactively*, the
+    budget's :meth:`slice_plan` may ask for the table to stream through
+    the remaining steps in row slices; *reactively*, a row/byte abort
+    during one step restores the pre-step snapshot (extensions may have
+    partially mutated the table) and re-runs it in halves.  Slices share
+    the deterministic column layout of the step sequence, so their final
+    matrices concatenate — the head projection deduplicates.
+    """
+    budget = ctx.budget
+    for pos in range(position, len(ordered)):
+        if bt.row_count == 0:
+            return bt
+        pieces = budget.slice_plan(bt.row_count)
+        if pieces is not None:
+            return _run_sliced(bt, ordered, pos, ctx, pieces)
+        step = ordered[pos]
+        state = bt.snapshot()
+        try:
+            with TRACER.span("engine.step") as span:
+                if isinstance(step, _EdgeStep):
+                    _extend_edge_step(bt, step, ctx)
+                else:
+                    _extend_var_step(bt, step, ctx)
+                if span:
+                    span.set(
+                        step=_step_text(step),
+                        height=bt.row_count,
+                        width=int(bt.rows.shape[1]),
+                    )
+            budget.check_rows(bt.row_count)
+            budget.check_bytes(bt.rows.nbytes)
+        except EngineBudgetExceeded as exc:
+            bt.restore(state)
+            if bt.row_count > 1 and budget.should_degrade(exc):
+                return _run_sliced(bt, ordered, pos, ctx, 2)
+            raise
+        budget.check_time()
+    return bt
+
+
+def _run_sliced(
+    bt: _BindingTable,
+    ordered: list[_Step],
+    position: int,
+    ctx: _EvalContext,
+    pieces: int,
+) -> _BindingTable:
+    budget = ctx.budget
+    budget.record_degraded(
+        "iso.binding_table",
+        rows=int(bt.row_count),
+        step=position,
+        pieces=int(pieces),
+    )
+    parts: list[np.ndarray] = []
+    final: _BindingTable | None = None
+    for start, stop in split_ranges(bt.row_count, pieces):
+        piece = _run_steps(bt.slice(start, stop), ordered, position, ctx)
+        if piece.row_count:
+            parts.append(piece.rows)
+            final = piece
+    if final is None:
+        empty = _BindingTable()
+        empty.rows = np.zeros((0, bt.rows.shape[1]), dtype=np.int64)
+        empty.var_pos = dict(bt.var_pos)
+        return empty
+    final.rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return final
 
 
 # -- reachability helpers (shared with the reference backtracker) --------

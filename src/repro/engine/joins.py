@@ -32,6 +32,8 @@ from repro.columnar import expand_join, keys_contain_many, pack_pairs
 from repro.engine.budget import EvaluationBudget, unlimited
 from repro.engine.relations import BinaryRelation
 from repro.engine.resultset import ResultSet
+from repro.errors import EngineBudgetExceeded
+from repro.execution.degrade import split_ranges
 from repro.queries.ast import QueryRule
 
 
@@ -235,6 +237,123 @@ def _extend_setapi(
     ))
 
 
+def _plan_steps(
+    rule: QueryRule, order: list[int]
+) -> tuple[list[tuple[int, int | None, int | None, bool]], list[str]]:
+    """Precompute the per-conjunct binding positions and final schema.
+
+    The schema evolution depends only on the rule and the join order, so
+    the sliced (degraded) re-runs of a table share one plan — and every
+    slice's final table has the same column layout, making the union a
+    plain concatenation.
+    """
+    schema: list[str] = []
+    steps: list[tuple[int, int | None, int | None, bool]] = []
+    for index in order:
+        conjunct = rule.body[index]
+        source, target = conjunct.source, conjunct.target
+        src_pos = schema.index(source) if source in schema else None
+        trg_pos = schema.index(target) if target in schema else None
+        self_loop = target == source
+        if src_pos is None:
+            schema.append(source)
+        if trg_pos is None and not self_loop and target not in schema:
+            schema.append(target)
+        steps.append((index, src_pos, trg_pos, self_loop))
+    return steps, schema
+
+
+def _extend_step(
+    table: np.ndarray,
+    relation,
+    src_pos: int | None,
+    trg_pos: int | None,
+    self_loop: bool,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    if isinstance(relation, BinaryRelation):
+        return _extend_vectorized(
+            table, relation, src_pos, trg_pos, self_loop, budget
+        )
+    return _extend_setapi(table, relation, src_pos, trg_pos, self_loop, budget)
+
+
+def _join_from(
+    steps: list,
+    relations: list,
+    width: int,
+    step: int,
+    table: np.ndarray,
+    budget: EvaluationBudget,
+) -> np.ndarray:
+    """Run conjunct steps ``step:`` over ``table``; the final matrix.
+
+    Degradation happens here, at the step boundary: *proactively* when
+    the budget's :meth:`slice_plan` asks for the table to be processed
+    in slices, and *reactively* when an extension's row/byte charge
+    aborts — every extension kernel charges the budget **before**
+    mutating or materialising, so the pre-step table is intact and can
+    be re-run in halves.  Slices recurse through the remaining steps
+    independently and their final tables concatenate (same plan, same
+    column layout); a 1-row table that still blows the cap re-raises —
+    the result itself is oversized, not just a transient.
+    """
+    for position in range(step, len(steps)):
+        if table.shape[0] == 0:
+            return np.zeros((0, width), dtype=np.int64)
+        pieces = budget.slice_plan(table.shape[0])
+        if pieces is not None:
+            return _join_sliced(
+                steps, relations, width, position, table, budget, pieces
+            )
+        index, src_pos, trg_pos, self_loop = steps[position]
+        relation = relations[index]
+        try:
+            extended = _extend_step(
+                table, relation, src_pos, trg_pos, self_loop, budget
+            )
+            budget.check_rows(extended.shape[0])
+            budget.check_bytes(extended.nbytes)
+        except EngineBudgetExceeded as exc:
+            if table.shape[0] > 1 and budget.should_degrade(exc):
+                return _join_sliced(
+                    steps, relations, width, position, table, budget, 2
+                )
+            raise
+        table = extended
+        budget.check_time()
+    return table
+
+
+def _join_sliced(
+    steps: list,
+    relations: list,
+    width: int,
+    step: int,
+    table: np.ndarray,
+    budget: EvaluationBudget,
+    pieces: int,
+) -> np.ndarray:
+    budget.record_degraded(
+        "join.binding_table",
+        rows=int(table.shape[0]),
+        step=step,
+        pieces=int(pieces),
+    )
+    parts: list[np.ndarray] = []
+    for start, stop in split_ranges(table.shape[0], pieces):
+        part = _join_from(
+            steps, relations, width, step, table[start:stop], budget
+        )
+        if part.shape[0]:
+            parts.append(part)
+    if not parts:
+        return np.zeros((0, width), dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
 def join_rule(
     rule: QueryRule,
     relations: list[BinaryRelation],
@@ -246,6 +365,13 @@ def join_rule(
     ``relations[i]`` must be the relation of ``rule.body[i]``.  Returns
     the head projection as a columnar :class:`ResultSet` (Boolean rules
     collapse to the 0-ary unit/empty result, i.e. "true"/"false").
+
+    Under an :class:`~repro.execution.context.ExecutionContext` with
+    degradation enabled, a binding table whose extension blows the
+    row/byte cap is split and streamed through the remaining conjuncts
+    slice by slice (see :func:`_join_from`); the projection below
+    deduplicates across slices, so degraded and direct runs produce
+    identical results.
     """
     budget = budget or unlimited()
     if order is None:
@@ -254,38 +380,12 @@ def join_rule(
     # Bindings: a schema (ordered variable tuple) plus a unique-row
     # matrix with one column per schema variable (one empty row = the
     # unit binding).
-    schema: list[str] = []
+    steps, schema = _plan_steps(rule, order)
     table = np.zeros((1, 0), dtype=np.int64)
+    table = _join_from(steps, relations, len(schema), 0, table, budget)
 
-    for index in order:
-        conjunct = rule.body[index]
-        relation = relations[index]
-        source, target = conjunct.source, conjunct.target
-        src_pos = schema.index(source) if source in schema else None
-        trg_pos = schema.index(target) if target in schema else None
-        self_loop = target == source
-
-        new_schema = list(schema)
-        if src_pos is None:
-            new_schema.append(source)
-        if trg_pos is None and not self_loop:
-            if target not in new_schema:
-                new_schema.append(target)
-
-        if isinstance(relation, BinaryRelation):
-            table = _extend_vectorized(
-                table, relation, src_pos, trg_pos, self_loop, budget
-            )
-        else:
-            table = _extend_setapi(
-                table, relation, src_pos, trg_pos, self_loop, budget
-            )
-        schema = new_schema
-        budget.check_rows(table.shape[0])
-        budget.check_time()
-        if table.shape[0] == 0:
-            return ResultSet.empty(len(rule.head))
-
+    if table.shape[0] == 0:
+        return ResultSet.empty(len(rule.head))
     positions = [schema.index(var) for var in rule.head]
     if not positions:
         return ResultSet.unit()

@@ -149,6 +149,11 @@ class BinaryRelation:
     def __len__(self) -> int:
         return len(self._store)
 
+    @property
+    def nbytes(self) -> int:
+        """Live bytes of the underlying columnar store."""
+        return self._store.nbytes
+
     def __bool__(self) -> bool:
         return len(self._store) > 0
 
@@ -251,6 +256,7 @@ class BinaryRelation:
         while delta_keys.size:
             budget.check_time()
             budget.check_rows(closure_keys.size)
+            budget.check_bytes(closure_keys.nbytes)
             delta_sources, delta_middles = unpack_keys(delta_keys)
             _, probe_index, build_index = expand_join(
                 delta_middles, base_sources, budget.check_rows

@@ -61,7 +61,7 @@ def _strictly_increasing(column: np.ndarray) -> bool:
 class ResultSet(AbstractSet):
     """Lazy, columnar set of fixed-arity answer tuples."""
 
-    __slots__ = ("_arity", "_nrows", "_keys", "_cols")
+    __slots__ = ("_arity", "_nrows", "_keys", "_cols", "_incomplete")
 
     def __init__(self, rows: Iterable[tuple[int, ...]] = (), arity: int | None = None):
         """Compatibility constructor from an iterable of tuples.
@@ -77,6 +77,7 @@ class ResultSet(AbstractSet):
             self._nrows = other._nrows
             self._keys = other._keys
             self._cols = other._cols
+            self._incomplete = other._incomplete
             return
         row_list = list(rows)
         if not row_list:
@@ -110,6 +111,7 @@ class ResultSet(AbstractSet):
         self._nrows = nrows
         self._keys = keys
         self._cols = cols
+        self._incomplete = None
 
     def _init_from_table(self, table: np.ndarray) -> None:
         arity = table.shape[1]
@@ -251,6 +253,29 @@ class ResultSet(AbstractSet):
         here.
         """
         return self._nrows
+
+    # -- completeness (hardened execution / partial results) ------------
+
+    @property
+    def complete(self) -> bool:
+        """False when this result was truncated by a budget abort."""
+        return self._incomplete is None
+
+    @property
+    def abort_report(self):
+        """The :class:`~repro.execution.context.AbortReport` describing
+        why an incomplete result was cut short (None when complete)."""
+        return self._incomplete
+
+    def mark_incomplete(self, report) -> "ResultSet":
+        """A shallow copy of this result flagged incomplete.
+
+        The columns are shared zero-copy; only the completeness flag
+        differs, so set algebra on the copy behaves identically.
+        """
+        result = ResultSet._raw(self._arity, self._nrows, self._keys, self._cols)
+        result._incomplete = report
+        return result
 
     def to_relation(self):
         """View a 2-ary result as a :class:`BinaryRelation` (zero-copy)."""

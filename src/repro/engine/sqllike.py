@@ -86,6 +86,7 @@ class PostgresLikeEngine(Engine):
             answers = (
                 rule_answers if answers is None else answers.union(rule_answers)
             )
+            budget.stash_partial(answers)
             budget.check_rows(answers.count())
         return answers if answers is not None else ResultSet.empty()
 
@@ -148,6 +149,7 @@ class PostgresLikeEngine(Engine):
         while True:
             budget.check_time()
             budget.check_rows(len(result))
+            budget.check_bytes(result.nbytes)
             expanded = _merge_join(result, base, budget)
             combined = _dedup(np.vstack((result, expanded)))
             if len(combined) == len(result):

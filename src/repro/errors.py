@@ -60,13 +60,16 @@ class EngineCapabilityError(EngineError):
 
 
 class EngineBudgetExceeded(EngineError):
-    """Query evaluation exceeded its time or memory (row) budget.
+    """Query evaluation exceeded its time, row, or memory budget.
 
     The experiment harness records these as the failures ("-") reported
     in Table 4 of the paper.  ``span_path`` carries the active tracing
     span path (``"engine.evaluate/engine.conjunct/..."``) when tracing
     was on at abort time, so aborts are diagnosable down to the stage
-    or conjunct that blew the budget.
+    or conjunct that blew the budget.  ``resource`` names the exhausted
+    limit (``"time"`` / ``"rows"`` / ``"bytes"``) and ``amount`` the
+    offending measurement, so graceful-degradation fallbacks can
+    discriminate recoverable size blowups from hard deadlines.
     """
 
     def __init__(
@@ -74,7 +77,25 @@ class EngineBudgetExceeded(EngineError):
         message: str,
         elapsed_seconds: float | None = None,
         span_path: str | None = None,
+        resource: str | None = None,
+        amount: int | None = None,
     ):
         super().__init__(message)
         self.elapsed_seconds = elapsed_seconds
         self.span_path = span_path
+        self.resource = resource
+        self.amount = amount
+
+
+class ExecutionCancelled(EngineError):
+    """A cooperative :class:`~repro.execution.budget.CancellationToken`
+    was cancelled mid-evaluation.
+
+    Distinct from :class:`EngineBudgetExceeded`: the work was stopped
+    from outside (a client disconnecting, a service shutting down)
+    rather than by exhausting a resource limit.
+    """
+
+    def __init__(self, message: str, elapsed_seconds: float | None = None):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds

@@ -1,0 +1,45 @@
+"""Hardened execution: resource governance, degradation, fault injection.
+
+Public surface of the execution layer:
+
+* :class:`ResourceBudget` / :class:`CancellationToken` — the limits
+  every engine, kernel, and generator checks against;
+* :class:`ExecutionContext` / :class:`AbortReport` — budgets that
+  degrade gracefully and can return partial results with diagnostics;
+* :data:`FAULTS` / :func:`fault_point` / :class:`InjectedFault` — the
+  deterministic fault-injection registry behind the chaos suite.
+
+The chunked-streaming kernels live in :mod:`repro.execution.degrade`
+and are deliberately **not** imported here: they depend on
+:mod:`repro.columnar`, which itself registers fault points through this
+package at import time — importing them eagerly would close a cycle.
+"""
+
+from repro.execution.budget import CancellationToken, ResourceBudget
+from repro.execution.context import (
+    ON_BUDGET_MODES,
+    AbortReport,
+    ExecutionContext,
+)
+from repro.execution.faults import (
+    FAULT_ERRORS,
+    FAULTS,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    fault_point,
+)
+
+__all__ = [
+    "AbortReport",
+    "CancellationToken",
+    "ExecutionContext",
+    "FAULTS",
+    "FAULT_ERRORS",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "ON_BUDGET_MODES",
+    "ResourceBudget",
+    "fault_point",
+]

@@ -1,0 +1,225 @@
+"""Execution contexts: budgets plus degradation policy and diagnostics.
+
+An :class:`ExecutionContext` *is* a :class:`ResourceBudget` (it passes
+anywhere a budget goes — every engine, kernel, and generator signature
+stays unchanged) that additionally opts into the hardened-execution
+behaviours:
+
+* **graceful degradation** — when a frontier gather or binding-table
+  extension would blow the row/memory cap, the kernels consult
+  :meth:`degrade_plan` / :meth:`slice_plan` / :meth:`should_degrade`
+  and fall back to chunked streaming execution (process the frontier or
+  table in slices, union the partial sorted columns) instead of
+  aborting.  Every fallback increments the ``execution.degraded``
+  counter and appends an event to :attr:`events`;
+* **partial results** — with ``on_budget="partial"``, engines stash the
+  answers accumulated so far and a budget abort returns them as a
+  :class:`~repro.engine.resultset.ResultSet` flagged incomplete, with
+  an :class:`AbortReport` attached, instead of raising.
+
+The context is single-evaluation state: ``start()`` (which every engine
+calls on entry) clears the partial stash and the per-run event list, so
+one context can drive repeated evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EngineBudgetExceeded, ExecutionCancelled
+from repro.execution.budget import ResourceBudget
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+
+_log = get_logger("execution.context")
+_DEGRADED = METRICS.counter("execution.degraded")
+
+#: Recognised ``on_budget`` policies.
+ON_BUDGET_MODES = ("raise", "partial")
+
+
+@dataclass
+class AbortReport:
+    """Diagnostics attached to a partial (incomplete) result.
+
+    One structured record of *why* an evaluation stopped early —
+    exhausted resource, elapsed time, active span path, high-water
+    memory, and the degraded-execution events that fired before the
+    abort — exportable as NDJSON via :meth:`records`.
+    """
+
+    reason: str
+    resource: str | None = None
+    elapsed_seconds: float | None = None
+    span_path: str | None = None
+    amount: int | None = None
+    peak_bytes: int = 0
+    degraded_events: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, *, peak_bytes: int = 0, events: list | None = None
+    ) -> "AbortReport":
+        if isinstance(exc, ExecutionCancelled):
+            resource = "cancelled"
+        else:
+            resource = getattr(exc, "resource", None)
+        return cls(
+            reason=str(exc),
+            resource=resource,
+            elapsed_seconds=getattr(exc, "elapsed_seconds", None),
+            span_path=getattr(exc, "span_path", None),
+            amount=getattr(exc, "amount", None),
+            peak_bytes=peak_bytes,
+            degraded_events=list(events or ()),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "abort",
+            "reason": self.reason,
+            "resource": self.resource,
+            "elapsed_seconds": self.elapsed_seconds,
+            "span_path": self.span_path,
+            "amount": self.amount,
+            "peak_bytes": self.peak_bytes,
+            "degraded_events": len(self.degraded_events),
+        }
+
+    def records(self):
+        """NDJSON-able records: one abort summary + one per event."""
+        yield self.to_dict()
+        for event in self.degraded_events:
+            yield {"kind": "degraded", **event}
+
+
+@dataclass
+class ExecutionContext(ResourceBudget):
+    """A budget that degrades gracefully and can return partial results.
+
+    Parameters beyond :class:`ResourceBudget`:
+
+    on_budget:
+        ``"raise"`` (default) aborts exactly like a plain budget;
+        ``"partial"`` catches the abort at the engine boundary and
+        returns the stashed answers flagged incomplete.
+    degrade:
+        Enable chunked-streaming fallbacks at the kernels (default on).
+    chunk_rows:
+        Target rows per slice of a degraded frontier gather.
+    degrade_rows:
+        Optional *proactive* threshold: gathers/tables larger than this
+        are chunked even before a cap would blow (used by the parity
+        tests and as a transient-memory limiter); None means degrade
+        only when the row/byte cap is actually hit.
+    """
+
+    on_budget: str = "raise"
+    degrade: bool = True
+    chunk_rows: int = 1 << 16
+    degrade_rows: int | None = None
+    events: list[dict] = field(default_factory=list, repr=False)
+    _partial: object = field(default=None, repr=False)
+    _abort_report: AbortReport | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.on_budget not in ON_BUDGET_MODES:
+            raise ValueError(
+                f"on_budget must be one of {ON_BUDGET_MODES}, "
+                f"got {self.on_budget!r}"
+            )
+
+    @classmethod
+    def from_budget(cls, budget: ResourceBudget, **overrides) -> "ExecutionContext":
+        """Wrap a plain budget's limits in a context (copies the caps)."""
+        if isinstance(budget, ExecutionContext):
+            for key, value in overrides.items():
+                setattr(budget, key, value)
+            return budget
+        return cls(
+            timeout_seconds=budget.timeout_seconds,
+            max_rows=budget.max_rows,
+            max_bytes=budget.max_bytes,
+            token=budget.token,
+            **overrides,
+        )
+
+    def start(self) -> "ExecutionContext":
+        """Arm the clock and reset per-run state (stash, events, report)."""
+        self._partial = None
+        self._abort_report = None
+        self.events = []
+        super().start()
+        return self
+
+    @property
+    def abort_report(self) -> AbortReport | None:
+        """The report of the last partial-mode abort (None if clean)."""
+        return self._abort_report
+
+    # -- degradation policy -------------------------------------------
+
+    def _row_limit(self) -> int:
+        limit = self.max_rows
+        if self.degrade_rows is not None:
+            limit = min(limit, self.degrade_rows)
+        if self.max_bytes is not None:
+            # A gather of N rows materialises ~two int64 columns.
+            limit = min(limit, max(1, self.max_bytes // 16))
+        return limit
+
+    def degrade_plan(self, total_rows: int) -> int | None:
+        if not self.degrade:
+            return None
+        limit = self._row_limit()
+        if total_rows <= limit:
+            return None
+        return max(1, min(self.chunk_rows, limit))
+
+    def slice_plan(self, nrows: int) -> int | None:
+        if not self.degrade or self.degrade_rows is None or nrows <= 1:
+            return None
+        if nrows <= self.degrade_rows:
+            return None
+        return -(-nrows // max(1, self.degrade_rows))
+
+    def should_degrade(self, exc: BaseException) -> bool:
+        return self.degrade and getattr(exc, "resource", None) in ("rows", "bytes")
+
+    def record_degraded(self, site: str, **info) -> None:
+        _DEGRADED.inc()
+        event = {"site": site, **info}
+        self.events.append(event)
+        _log.info("degraded execution at %s: %s", site, info)
+
+    # -- partial results ----------------------------------------------
+
+    @property
+    def wants_partial(self) -> bool:
+        return self.on_budget == "partial"
+
+    def stash_partial(self, result) -> None:
+        self._partial = result
+
+    def partial_result(self, exc: BaseException, arity: int):
+        """The incomplete :class:`ResultSet` for an abort, or None.
+
+        None (``on_budget="raise"``, or a non-budget error) tells the
+        engine boundary to re-raise.
+        """
+        if self.on_budget != "partial":
+            return None
+        if not isinstance(exc, (EngineBudgetExceeded, ExecutionCancelled)):
+            return None
+        from repro.engine.resultset import ResultSet
+
+        result = self._partial
+        if result is None:
+            result = ResultSet.empty(arity)
+        report = AbortReport.from_exception(
+            exc, peak_bytes=self.peak_bytes, events=self.events
+        )
+        self._abort_report = report
+        METRICS.counter("execution.partial_results").inc()
+        _log.warning("returning partial result: %s", report.reason)
+        return result.mark_incomplete(report)

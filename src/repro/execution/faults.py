@@ -1,0 +1,156 @@
+"""Deterministic fault injection: the chaos-test substrate.
+
+Key kernels register named **injection points** at import time
+(columnar batch merge, CSR build, frontier advance, sampler refill,
+Session cache fill, ...) and call :meth:`FaultInjector.hit` on every
+pass.  Disarmed — the production state — a hit is one attribute load
+and a ``None`` check; the benchmark floors run with the injector
+disarmed and the no-op probe asserts it stays that way.
+
+Armed via :meth:`FaultInjector.inject`, a plan raises a chosen error
+(:class:`MemoryError`, :class:`TimeoutError`, or the artificial-
+corruption marker :class:`InjectedFault`) on exactly the *Nth* hit of
+its point — and only that hit, so the chaos suite's retry-succeeds
+invariant runs inside the same injection window without disarming.
+:meth:`FaultInjector.inject_seeded` derives (point, N) from a seed for
+randomized-but-reproducible chaos sweeps.
+
+The suite in ``tests/test_chaos.py`` drives every registered point and
+asserts the hardened-execution invariants: a failed ``add_edges`` batch
+never leaves :class:`~repro.generation.graph.LabeledGraph`
+half-mutated, :class:`~repro.session.Session` caches never retain
+artifacts from a failed stage, and a budget abort always leaves the
+session reusable.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+
+_log = get_logger("execution.faults")
+_INJECTED = METRICS.counter("execution.faults_injected")
+
+
+class InjectedFault(RuntimeError):
+    """Artificial corruption raised by an armed injection point."""
+
+
+#: Error kinds the harness injects by default in sweeps.
+FAULT_ERRORS = (MemoryError, TimeoutError, InjectedFault)
+
+
+@dataclass
+class FaultPlan:
+    """One armed injection: raise ``error`` on the ``nth`` hit of ``point``."""
+
+    point: str
+    error: type[BaseException] = MemoryError
+    nth: int = 1
+    message: str = "injected fault"
+    hits: int = field(default=0, repr=False)
+    fired: int = field(default=0, repr=False)
+
+    def make(self) -> BaseException:
+        return self.error(f"{self.message} at {self.point} (hit {self.hits})")
+
+
+class FaultInjector:
+    """Registry of injection points plus the armed-plan table.
+
+    ``points`` is the set of every point name registered at import time
+    (the chaos sweep iterates it); ``_plans`` is None when disarmed —
+    the only state the hot path reads.
+    """
+
+    __slots__ = ("points", "_plans")
+
+    def __init__(self) -> None:
+        self.points: set[str] = set()
+        self._plans: dict[str, FaultPlan] | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._plans is not None
+
+    def register(self, name: str) -> str:
+        """Declare an injection point (module import time); returns it."""
+        self.points.add(name)
+        return name
+
+    def hit(self, point: str) -> None:
+        """One pass over an injection point (hot path: one None check)."""
+        plans = self._plans
+        if plans is None:
+            return
+        plan = plans.get(point)
+        if plan is None:
+            return
+        plan.hits += 1
+        if plan.hits == plan.nth:
+            plan.fired += 1
+            _INJECTED.inc()
+            _log.warning(
+                "injecting %s at %s (hit %d)",
+                plan.error.__name__, point, plan.hits,
+            )
+            raise plan.make()
+
+    @contextmanager
+    def inject(
+        self,
+        point: str,
+        error: type[BaseException] = MemoryError,
+        nth: int = 1,
+        message: str = "injected fault",
+    ):
+        """Arm ``point`` to raise on its Nth hit within the block.
+
+        Later hits pass through, so a retry of the failed operation
+        inside the same block exercises the recovery path.  Nested
+        ``inject`` blocks compose (one plan per point).
+        """
+        if point not in self.points:
+            raise ValueError(
+                f"unknown fault point {point!r}; registered: "
+                f"{sorted(self.points)}"
+            )
+        plan = FaultPlan(point, error, nth, message)
+        previous = self._plans
+        plans = dict(previous or {})
+        plans[point] = plan
+        self._plans = plans
+        try:
+            yield plan
+        finally:
+            self._plans = previous
+
+    def inject_seeded(
+        self,
+        seed: int,
+        error: type[BaseException] | None = None,
+        max_nth: int = 3,
+    ):
+        """Arm a seed-derived (point, error, N): reproducible chaos.
+
+        The same seed always arms the same plan against the same
+        registered point set, so a failing sweep case replays exactly.
+        """
+        rng = random.Random(seed)
+        point = rng.choice(sorted(self.points))
+        if error is None:
+            error = FAULT_ERRORS[rng.randrange(len(FAULT_ERRORS))]
+        return self.inject(point, error=error, nth=rng.randint(1, max_nth))
+
+
+#: The process-wide injector (disarmed unless a test arms it).
+FAULTS = FaultInjector()
+
+
+def fault_point(name: str) -> str:
+    """Module-level registration helper: ``_FP = fault_point("x.y")``."""
+    return FAULTS.register(name)

@@ -29,6 +29,7 @@ from repro.generation.degree_sequences import (
     sample_source_vector,
     sample_target_vector,
 )
+from repro.execution.faults import FAULTS, fault_point
 from repro.generation.graph import LabeledGraph
 from repro.observability.metrics import timed_stage
 from repro.observability.trace import TRACER
@@ -36,6 +37,8 @@ from repro.rng import ensure_rng
 from repro.schema.config import GraphConfiguration
 from repro.schema.distributions import ZipfianDistribution
 from repro.schema.schema import EdgeConstraint
+
+_FP_BATCH = fault_point("generation.batch")
 
 
 @dataclass
@@ -64,13 +67,26 @@ class GraphGenerator:
         self,
         config: GraphConfiguration,
         seed: int | np.random.Generator | None = None,
+        budget=None,
     ) -> LabeledGraph:
-        """Run Fig. 5 over every edge constraint of the configuration."""
+        """Run Fig. 5 over every edge constraint of the configuration.
+
+        ``budget`` (a :class:`~repro.execution.budget.ResourceBudget`)
+        is checked once per constraint batch — the generator's natural
+        yield point — so long generations honour deadlines, cooperative
+        cancellation, and the live-memory cap (charged with the graph's
+        columnar ``nbytes``).
+        """
         rng = ensure_rng(seed)
         graph = LabeledGraph(config)
         with timed_stage("generation.graph", nodes=config.total_nodes):
             for constraint in config.schema.edges.values():
+                if budget is not None:
+                    budget.check_time()
                 self._generate_constraint(graph, config, constraint, rng)
+                if budget is not None:
+                    budget.check_rows(graph.edge_count)
+                    budget.check_bytes(graph.nbytes)
         return graph
 
     def _generate_constraint(
@@ -83,6 +99,7 @@ class GraphGenerator:
         with TRACER.span(
             "generation.constraint", predicate=constraint.predicate
         ) as span:
+            FAULTS.hit(_FP_BATCH)
             batch = self._constraint_arrays(config, constraint, rng)
             if batch is None:
                 return
@@ -183,6 +200,7 @@ def generate_graph(
     config: GraphConfiguration,
     seed: int | np.random.Generator | None = None,
     use_gaussian_fast_path: bool = True,
+    budget=None,
 ) -> LabeledGraph:
     """Generate one instance of ``config`` (the Fig. 5 algorithm).
 
@@ -193,4 +211,4 @@ def generate_graph(
     1000
     """
     generator = GraphGenerator(use_gaussian_fast_path=use_gaussian_fast_path)
-    return generator.generate(config, seed)
+    return generator.generate(config, seed, budget=budget)

@@ -235,6 +235,16 @@ class LabeledGraph:
     def edge_count(self) -> int:
         return sum(len(store) for store in self._stores.values())
 
+    @property
+    def nbytes(self) -> int:
+        """Live bytes of every label's columnar store (memory governance)."""
+        return sum(store.nbytes for store in self._stores.values())
+
+    def self_check(self) -> None:
+        """Assert every label store's invariants (chaos-suite probe)."""
+        for store in self._stores.values():
+            store.self_check()
+
     def statistics(self) -> GraphStatistics:
         """Aggregate statistics used by reports and property tests."""
         edges_per_label = {

@@ -15,15 +15,19 @@ serialisations plug in with one ``@GRAPH_WRITERS.register`` decorator.
 from __future__ import annotations
 
 import os
-from typing import IO, Iterable
+from contextlib import contextmanager
+from typing import IO, Iterable, Iterator
 
 import numpy as np
 
+from repro.execution.faults import FAULTS, fault_point
 from repro.generation.graph import LabeledGraph
 from repro.registry import Registry
 
 #: Format name -> ``writer(graph, path) -> count/mapping``.
 GRAPH_WRITERS: Registry = Registry("graph format", error_type=KeyError)
+
+_FP_SERIALIZE = fault_point("writers.serialize")
 
 
 def write_graph(graph: LabeledGraph, path: str | os.PathLike, format: str = "edges"):
@@ -31,8 +35,30 @@ def write_graph(graph: LabeledGraph, path: str | os.PathLike, format: str = "edg
     return GRAPH_WRITERS[format](graph, path)
 
 
-def _open_for_write(path: str | os.PathLike) -> IO[str]:
-    return open(path, "w", encoding="utf-8")
+@contextmanager
+def _open_for_write(path: str | os.PathLike) -> Iterator[IO[str]]:
+    """Atomic serialisation: write a sibling temp file, rename on success.
+
+    A failure mid-write (out of disk, a crash, an injected fault) leaves
+    any pre-existing file at ``path`` untouched and removes the partial
+    temp file — readers never observe a half-written instance.  The
+    rename is ``os.replace``, atomic on POSIX within one filesystem.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    handle = open(tmp_path, "w", encoding="utf-8")
+    try:
+        FAULTS.hit(_FP_SERIALIZE)
+        yield handle
+        handle.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 #: Rows formatted per chunk by the bulk writers below.

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GenerationError
+from repro.execution.faults import FAULTS, fault_point
 from repro.observability.log import get_logger
 from repro.observability.metrics import METRICS, timed_stage
 from repro.observability.trace import TRACER
@@ -68,6 +69,8 @@ _RELAX_MARGIN = 3
 #: ~retry budget while rarely-hit keys waste almost nothing.
 _POOL_BATCH_MIN = 4
 _POOL_BATCH_MAX = 128
+
+_FP_REFILL = fault_point("sampler.refill")
 
 
 @dataclass
@@ -118,12 +121,19 @@ class WorkloadGenerator:
     # public API
     # ------------------------------------------------------------------
 
-    def generate(self) -> Workload:
-        """Generate the full workload (Fig. 6's outer loop)."""
+    def generate(self, budget=None) -> Workload:
+        """Generate the full workload (Fig. 6's outer loop).
+
+        ``budget`` (a :class:`~repro.execution.budget.ResourceBudget`)
+        is checked once per query — the generator's natural yield point
+        for deadlines and cooperative cancellation.
+        """
         workload = Workload(self.configuration)
         combos = self._combination_cycle()
         with timed_stage("workload.generate", size=self.configuration.size):
             for index in range(self.configuration.size):
+                if budget is not None:
+                    budget.check_time()
                 arity, shape, selectivity = combos[index % len(combos)]
                 workload.queries.append(
                     self.generate_query(shape, selectivity, arity)
@@ -296,6 +306,7 @@ class WorkloadGenerator:
         paths, refill = entry
         if not paths:
             _POOL_REFILLS.inc()
+            FAULTS.hit(_FP_REFILL)
             paths = self.sampler.sample_paths_in_range(
                 starts, targets, l_min, l_max, refill, self.rng,
                 relax_to=relax_to,
@@ -659,6 +670,7 @@ class WorkloadGenerator:
 def generate_workload(
     configuration: WorkloadConfiguration,
     seed: int | np.random.Generator | None = None,
+    budget=None,
 ) -> Workload:
     """Generate a workload (the Fig. 6 algorithm end to end)."""
-    return WorkloadGenerator(configuration, seed).generate()
+    return WorkloadGenerator(configuration, seed).generate(budget=budget)

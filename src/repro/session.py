@@ -28,6 +28,8 @@ from repro.config.xml_io import graph_config_from_xml, graph_config_to_xml
 from repro.engine.budget import EvaluationBudget
 from repro.engine.evaluator import ENGINES, Engine, count_distinct, evaluate_query
 from repro.engine.resultset import ResultSet
+from repro.execution.context import ExecutionContext
+from repro.execution.faults import FAULTS, fault_point
 from repro.generation.generator import generate_graph
 from repro.generation.graph import LabeledGraph
 from repro.generation.writers import GRAPH_WRITERS
@@ -42,9 +44,19 @@ from repro.schema.config import GraphConfiguration
 from repro.schema.validate import validate_schema
 from repro.translate import TRANSLATORS
 
+_FP_GRAPH_CACHE = fault_point("session.graph_cache")
+_FP_WORKLOAD_CACHE = fault_point("session.workload_cache")
+
 
 class Session:
-    """Cached schema → graph → workload → translate → evaluate driver."""
+    """Cached schema → graph → workload → translate → evaluate driver.
+
+    ``budget`` installs a session-default
+    :class:`~repro.engine.budget.EvaluationBudget` (or
+    :class:`~repro.execution.context.ExecutionContext`) applied to every
+    :meth:`evaluate` / :meth:`count_distinct` call that doesn't pass its
+    own; a per-call budget always wins.
+    """
 
     def __init__(
         self,
@@ -52,9 +64,11 @@ class Session:
         *,
         seed: int | None = None,
         log_level: int | str | None = None,
+        budget: EvaluationBudget | None = None,
     ):
         self.config = config
         self.seed = seed
+        self.budget = budget
         if log_level is not None:
             setup_logging(log_level)
         self._graphs: dict[int | None, LabeledGraph] = {}
@@ -71,12 +85,14 @@ class Session:
         *,
         seed: int | None = None,
         log_level: int | str | None = None,
+        budget: EvaluationBudget | None = None,
     ) -> "Session":
         """Session over a built-in scenario ('bib', 'lsn', 'sp', 'wd')."""
         return cls(
             GraphConfiguration(nodes, scenario_schema(name)),
             seed=seed,
             log_level=log_level,
+            budget=budget,
         )
 
     @classmethod
@@ -128,12 +144,19 @@ class Session:
         return self.seed if seed is None else seed
 
     def graph(self, seed: int | None = None) -> LabeledGraph:
-        """The generated instance (cached per effective seed)."""
+        """The generated instance (cached per effective seed).
+
+        The cache fill is transactional: the entry is stored only after
+        generation completed, so a failure (budget abort, injected
+        fault) never leaves a half-built graph behind — the next call
+        regenerates from scratch.
+        """
         effective = self._seed(seed)
         graph = self._graphs.get(effective)
         if graph is None:
             METRICS.counter("session.graph.cache_misses").inc()
             with timed_stage("session.graph", seed=effective):
+                FAULTS.hit(_FP_GRAPH_CACHE)
                 graph = generate_graph(self.config, effective)
             self._graphs[effective] = graph
         else:
@@ -183,6 +206,7 @@ class Session:
         if configuration is None:
             configuration = self.workload_configuration(size, **options)
         with timed_stage("session.workload", size=size):
+            FAULTS.hit(_FP_WORKLOAD_CACHE)
             workload = generate_workload(configuration, effective)
         if key is not None:
             self._workloads[key] = workload
@@ -219,12 +243,30 @@ class Session:
             METRICS.counter("session.query.cache_hits").inc()
         return query
 
+    def _effective_budget(
+        self,
+        budget: EvaluationBudget | None,
+        on_budget: str | None,
+    ) -> EvaluationBudget | None:
+        """Resolve the per-call budget: explicit > session default.
+
+        ``on_budget`` ("raise" / "partial") upgrades the resolved budget
+        to an :class:`ExecutionContext` with that abort policy.
+        """
+        effective = budget if budget is not None else self.budget
+        if on_budget is None:
+            return effective
+        if effective is None:
+            return ExecutionContext(on_budget=on_budget)
+        return ExecutionContext.from_budget(effective, on_budget=on_budget)
+
     def evaluate(
         self,
         query: str | Query,
         engine: str | Engine = "datalog",
         *,
         budget: EvaluationBudget | None = None,
+        on_budget: str | None = None,
         seed: int | None = None,
         profile: bool = False,
     ) -> ResultSet:
@@ -232,12 +274,17 @@ class Session:
 
         ``profile=True`` returns an
         :class:`~repro.observability.profile.EvaluationProfile` (the
-        answers stay on its ``result`` field).
+        answers stay on its ``result`` field).  ``on_budget="partial"``
+        returns a ResultSet flagged incomplete on budget abort instead
+        of raising (see :class:`ExecutionContext`).
         """
         parsed = self.query(query)
         graph = self.graph(seed)
+        effective = self._effective_budget(budget, on_budget)
         with timed_stage("session.evaluate"):
-            return evaluate_query(parsed, graph, engine, budget, profile=profile)
+            return evaluate_query(
+                parsed, graph, engine, effective, profile=profile
+            )
 
     def count_distinct(
         self,
@@ -245,13 +292,15 @@ class Session:
         engine: str | Engine = "datalog",
         *,
         budget: EvaluationBudget | None = None,
+        on_budget: str | None = None,
         seed: int | None = None,
     ) -> int:
         """The §7.1 ``count(distinct ?v)`` measurement — array-side."""
         parsed = self.query(query)
         graph = self.graph(seed)
+        effective = self._effective_budget(budget, on_budget)
         with timed_stage("session.evaluate"):
-            return count_distinct(parsed, graph, engine, budget)
+            return count_distinct(parsed, graph, engine, effective)
 
     def __repr__(self) -> str:
         return (
