@@ -11,6 +11,9 @@ Subcommands::
                             [--engine datalog] [--profile]
                             [--timeout S] [--max-rows N] [--max-bytes N]
                             [--on-budget raise|partial] [--abort-report PATH]
+    gmark serve             [--host H] [--port P] [--workers N]
+                            [--max-queue N] [--default-timeout S]
+                            [--cache-capacity N]
 
 Every command accepts ``--seed`` for reproducibility and ``-v``/``-vv``
 (before the subcommand) for structured logging on stderr.
@@ -26,8 +29,10 @@ drive one :class:`~repro.session.Session` (cached schema → graph →
 workload pipeline), and the extension points — engines, translators,
 scenarios, graph writers — resolve through their shared registries, so
 a plugin registered before :func:`main` runs is immediately usable from
-the command line.  Installed entry points: the ``gmark`` console script
-and ``python -m repro``.
+the command line.  ``serve`` runs the long-lived concurrent HTTP
+service (:mod:`repro.service`) until SIGTERM/SIGINT gracefully drains
+it.  Installed entry points: the ``gmark`` console script and
+``python -m repro``.
 """
 
 from __future__ import annotations
@@ -186,6 +191,35 @@ def _cmd_export_config(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the long-lived HTTP service until SIGTERM/SIGINT drains it."""
+    import threading
+
+    from repro.service import GmarkService, ServiceConfig
+
+    service = GmarkService(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_timeout=args.default_timeout,
+        cache_capacity=args.cache_capacity,
+    ))
+    stop = threading.Event()
+    service.install_signal_handlers(stop)
+    service.start()
+    print(f"serving on {service.address} "
+          f"(workers={args.workers}, queue={args.max_queue})", flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown(drain=True)
+    print("drained and stopped", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gmark", description="gMark reproduction CLI"
@@ -264,6 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex = sub.add_parser("export-config", help="print a scenario as XML")
     _add_source_args(p_ex)
     p_ex.set_defaults(func=_cmd_export_config)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP service (graphs/workloads/evaluate)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8090,
+                      help="listen port (0 picks an ephemeral port)")
+    p_sv.add_argument("--workers", type=int, default=4,
+                      help="evaluation worker threads")
+    p_sv.add_argument("--max-queue", type=int, default=16,
+                      help="queued jobs before requests get 429")
+    p_sv.add_argument("--default-timeout", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="per-request budget when none is given")
+    p_sv.add_argument("--cache-capacity", type=int, default=8,
+                      help="LRU bound on cached graph/workload artifacts")
+    p_sv.set_defaults(func=_cmd_serve)
     return parser
 
 

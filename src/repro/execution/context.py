@@ -24,6 +24,7 @@ one context can drive repeated evaluations.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import EngineBudgetExceeded, ExecutionCancelled
@@ -85,6 +86,35 @@ class AbortReport:
             "peak_bytes": self.peak_bytes,
             "degraded_events": len(self.degraded_events),
         }
+
+    def to_json(self) -> str:
+        """The summary record as one compact JSON line (service wire form)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "AbortReport":
+        """Rebuild a report from its :meth:`to_dict` / NDJSON summary.
+
+        The summary flattens ``degraded_events`` to a count (the events
+        travel as their own ``records()`` lines), so a round-tripped
+        report carries that many placeholder events.
+        """
+        if record.get("kind") != "abort":
+            raise ValueError(f"not an abort record: {record!r}")
+        return cls(
+            reason=record["reason"],
+            resource=record.get("resource"),
+            elapsed_seconds=record.get("elapsed_seconds"),
+            span_path=record.get("span_path"),
+            amount=record.get("amount"),
+            peak_bytes=record.get("peak_bytes", 0),
+            degraded_events=[{} for _ in range(record.get("degraded_events", 0))],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AbortReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def records(self):
         """NDJSON-able records: one abort summary + one per event."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.execution.faults import FAULTS, fault_point
 from repro.generation.graph import LabeledGraph
+from repro.ioutil import atomic_open
 from repro.registry import Registry
 
 #: Format name -> ``writer(graph, path) -> count/mapping``.
@@ -41,24 +42,13 @@ def _open_for_write(path: str | os.PathLike) -> Iterator[IO[str]]:
 
     A failure mid-write (out of disk, a crash, an injected fault) leaves
     any pre-existing file at ``path`` untouched and removes the partial
-    temp file — readers never observe a half-written instance.  The
-    rename is ``os.replace``, atomic on POSIX within one filesystem.
+    temp file — readers never observe a half-written instance (see
+    :func:`repro.ioutil.atomic_open`, the shared discipline also behind
+    the abort-report and profile NDJSON writers).
     """
-    path = os.fspath(path)
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    handle = open(tmp_path, "w", encoding="utf-8")
-    try:
+    with atomic_open(path) as handle:
         FAULTS.hit(_FP_SERIALIZE)
         yield handle
-        handle.close()
-        os.replace(tmp_path, path)
-    except BaseException:
-        handle.close()
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
 
 
 #: Rows formatted per chunk by the bulk writers below.

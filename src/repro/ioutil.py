@@ -1,0 +1,41 @@
+"""Atomic file writes shared by graph writers and report exporters.
+
+Every on-disk artifact the package produces — serialised graph
+instances, abort-report and profile NDJSON, metrics snapshots — goes
+through one discipline: write a sibling temp file, rename into place on
+success.  A failure mid-write (out of disk, a crash, an injected fault)
+leaves any pre-existing file at the destination untouched and removes
+the partial temp file, so readers never observe a half-written
+artifact.  The rename is :func:`os.replace`, atomic on POSIX within one
+filesystem.
+
+The temp name embeds the pid *and* the thread id: concurrent writers of
+the same path (e.g. two service requests dumping reports) never clobber
+each other's temp file, and the last rename wins atomically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_open(path: str | os.PathLike, encoding: str = "utf-8") -> Iterator[IO[str]]:
+    """Open ``path`` for atomic text writing (temp file + rename)."""
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    handle = open(tmp_path, "w", encoding=encoding)
+    try:
+        yield handle
+        handle.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -70,9 +70,17 @@ def parse_ndjson(text: str) -> list[dict]:
 
 
 def write_ndjson(path, records: Iterable[dict]) -> int:
-    """Write records to ``path`` as NDJSON; returns the line count."""
+    """Write records to ``path`` as NDJSON; returns the line count.
+
+    Atomic: the records land via a sibling temp file + ``os.replace``
+    (:func:`repro.ioutil.atomic_open`, the same discipline as the graph
+    writers), so a crash mid-dump never leaves a truncated report for a
+    monitoring reader to trip over.
+    """
+    from repro.ioutil import atomic_open
+
     text = to_ndjson(records)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_open(path) as handle:
         if text:
             handle.write(text + "\n")
     return 0 if not text else text.count("\n") + 1

@@ -15,6 +15,7 @@ per-level belongs behind the tracer's enabled flag instead.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -122,13 +123,18 @@ class MetricsRegistry:
 
     def __init__(self, kind: str = "metric"):
         self._registry: Registry[_Instrument] = Registry(kind)
+        # Get-or-create must be atomic once instruments are touched from
+        # concurrent request threads — an unguarded check-then-register
+        # of the same name would raise a spurious duplicate-key error.
+        self._lock = threading.Lock()
 
     def _instrument(self, name: str, cls):
-        existing = self._registry.get(name)
-        if existing is None:
-            existing = cls(name)
-            self._registry.register(name, existing)
-        elif not isinstance(existing, cls):
+        with self._lock:
+            existing = self._registry.get(name)
+            if existing is None:
+                existing = cls(name)
+                self._registry.register(name, existing)
+        if not isinstance(existing, cls):
             raise TypeError(
                 f"metric {name!r} is a {existing.kind}, not a {cls.kind}"
             )

@@ -1,0 +1,43 @@
+"""Long-lived serving layer over :class:`~repro.session.Session`.
+
+The "heavy traffic" subsystem: a dependency-free (stdlib
+``http.server``) concurrent HTTP service in which many clients share
+one generated graph — artifacts are pinned by ``(scenario, nodes,
+seed)`` exactly like a Session's caches, generated once under
+single-flight, and served to every request that names the same key.
+
+Layers (one module each):
+
+* :mod:`repro.service.store` — thread-safe LRU
+  :class:`ArtifactStore` with single-flight fills;
+* :mod:`repro.service.pool` — bounded :class:`WorkerPool` + queue with
+  backpressure and cooperative cancellation;
+* :mod:`repro.service.protocol` — JSON payload ↔ keys/budgets;
+* :mod:`repro.service.app` — the endpoints (:class:`ServiceApp`) and
+  the ``http.server`` adapter;
+* :mod:`repro.service.server` — :class:`GmarkService` process
+  composition: lifecycle, graceful drain, signals.
+
+Entry point: ``gmark serve`` (see :mod:`repro.cli`).
+"""
+
+from repro.service.app import GraphArtifact, Response, ServiceApp, WorkloadArtifact
+from repro.service.pool import Job, QueueFullError, WorkerPool
+from repro.service.protocol import BadRequest, encode_key
+from repro.service.server import GmarkService, ServiceConfig
+from repro.service.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "BadRequest",
+    "GmarkService",
+    "GraphArtifact",
+    "Job",
+    "QueueFullError",
+    "Response",
+    "ServiceApp",
+    "ServiceConfig",
+    "WorkerPool",
+    "WorkloadArtifact",
+    "encode_key",
+]

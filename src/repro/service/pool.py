@@ -1,0 +1,213 @@
+"""Bounded worker pool: the service's execution stage.
+
+HTTP handler threads never evaluate anything themselves — they submit a
+:class:`Job` and wait.  The pool bounds *evaluation concurrency* (the
+expensive, numpy-heavy part) independently of connection concurrency:
+
+* ``workers`` threads drain one bounded :class:`queue.Queue`;
+* a full queue rejects immediately (:class:`QueueFullError` → the
+  request layer's 429 + ``Retry-After``) instead of buffering unbounded
+  work — backpressure is the contract that keeps a loaded service
+  responsive;
+* every job carries a :class:`~repro.execution.budget.CancellationToken`
+  shared with its request budget, so cancelling the job (client
+  disconnect, drain timeout) stops the evaluation cooperatively at its
+  next budget yield point — and a job cancelled while still *queued*
+  never starts at all.
+
+``shutdown(drain=True)`` is the graceful half of SIGTERM handling:
+stop accepting, let queued jobs finish, join the workers.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+from repro.execution.budget import CancellationToken
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+
+_log = get_logger("service.pool")
+
+
+class QueueFullError(RuntimeError):
+    """The job queue is at capacity; the caller should back off.
+
+    ``retry_after_seconds`` is the hint surfaced as the HTTP
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, retry_after_seconds: float = 1.0):
+        super().__init__(f"job queue full ({depth} queued)")
+        self.depth = depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+class Job:
+    """One unit of pool work: a thunk plus its completion state."""
+
+    __slots__ = ("fn", "token", "done", "result", "error", "started", "cancelled")
+
+    def __init__(self, fn: Callable[[], object], token: CancellationToken):
+        self.fn = fn
+        self.token = token
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.started = False
+        self.cancelled = False
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Cooperatively cancel: running jobs stop at their next budget
+        yield point; queued jobs are skipped entirely."""
+        self.cancelled = True
+        self.token.cancel(reason)
+
+    def wait(
+        self,
+        poll_seconds: float = 0.05,
+        should_cancel: Callable[[], bool] | None = None,
+        cancel_reason: str = "client disconnected",
+    ) -> bool:
+        """Block until the job settles; returns True when it completed.
+
+        ``should_cancel`` is polled between waits (the request layer
+        passes its client-disconnect probe); the first True cancels the
+        job and keeps waiting for it to acknowledge, so the worker is
+        never left running for a vanished client.
+        """
+        while not self.done.wait(poll_seconds):
+            if should_cancel is not None and not self.cancelled and should_cancel():
+                METRICS.counter("service.request.cancelled").inc()
+                _log.info("cancelling job: %s", cancel_reason)
+                self.cancel(cancel_reason)
+                should_cancel = None
+        return self.error is None and not self.cancelled
+
+
+class WorkerPool:
+    """Fixed worker threads over one bounded queue (see module doc)."""
+
+    _STOP = object()
+
+    def __init__(self, workers: int = 4, max_queue: int = 16):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
+        self._inflight = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"gmark-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], object],
+        token: CancellationToken | None = None,
+        retry_after_seconds: float = 1.0,
+    ) -> Job:
+        """Enqueue a thunk; raises :class:`QueueFullError` at capacity."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+        job = Job(fn, token or CancellationToken())
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            METRICS.counter("service.queue.rejected").inc()
+            raise QueueFullError(self._queue.qsize(), retry_after_seconds) from None
+        METRICS.counter("service.queue.submitted").inc()
+        METRICS.gauge("service.queue.depth").set(self._queue.qsize())
+        return job
+
+    # -- worker loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                self._queue.task_done()
+                return
+            job: Job = item  # type: ignore[assignment]
+            METRICS.gauge("service.queue.depth").set(self._queue.qsize())
+            with self._lock:
+                self._inflight += 1
+            try:
+                if job.cancelled or job.token.cancelled:
+                    job.cancelled = True  # skipped while queued
+                else:
+                    job.started = True
+                    job.result = job.fn()
+            except BaseException as exc:  # settled with an error
+                job.error = exc
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+                job.done.set()
+                self._queue.task_done()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (not yet picked up)."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Jobs currently executing on a worker."""
+        with self._lock:
+            return self._inflight
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` queued jobs finish first.
+
+        Without ``drain``, queued jobs are cancelled (they settle as
+        cancelled without running) and only in-flight work completes.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            pending: list[Job] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._queue.task_done()
+                if isinstance(item, Job):
+                    item.cancel("service shutting down")
+                    item.cancelled = True
+                    item.done.set()
+                    pending.append(item)
+            if pending:
+                _log.info("cancelled %d queued jobs on shutdown", len(pending))
+        for _ in self._threads:
+            self._queue.put(self._STOP)
+        for thread in self._threads:
+            thread.join()
+        _log.info("worker pool drained and stopped (%d workers)", self.workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, queued={self.depth}, "
+            f"inflight={self.inflight})"
+        )

@@ -1,0 +1,132 @@
+"""Request/response vocabulary of the HTTP service.
+
+Pure functions between JSON payloads and the domain objects the
+handlers drive — no sockets in here, so the whole request surface unit
+tests without a server:
+
+* artifact **keys**: ``(kind, scenario, nodes, seed, ...)`` tuples with
+  a stable string form (``graph/bib/50000/7``) that responses hand out
+  and later requests pass back as references;
+* **budget** construction: per-request ``timeout`` / ``max_rows`` /
+  ``max_bytes`` / ``on_budget`` fields become one
+  :class:`~repro.execution.context.ExecutionContext` carrying the
+  request's :class:`~repro.execution.budget.CancellationToken`;
+* **validation**: anything malformed raises :class:`BadRequest`, which
+  the request layer maps to a 4xx JSON body — unknown scenario/engine
+  errors quote the registry's known keys, same as the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GmarkError
+from repro.execution.budget import CancellationToken
+from repro.execution.context import ON_BUDGET_MODES, ExecutionContext
+from repro.scenarios import SCENARIOS
+
+#: Hard ceiling on request bodies (a schema + budget fits in a fraction).
+MAX_BODY_BYTES = 1 << 20
+
+
+class BadRequest(GmarkError):
+    """A malformed or unsatisfiable request (HTTP ``status``, default 400)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _require_int(payload: dict, field: str, minimum: int = 0) -> int:
+    value = payload.get(field)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise BadRequest(
+            f"field {field!r} must be an integer >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+def _optional_int(payload: dict, field: str, default=None):
+    value = payload.get(field, default)
+    if value is None or value is default:
+        return default
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise BadRequest(f"field {field!r} must be an integer, got {value!r}")
+    return value
+
+
+def graph_key(payload: dict) -> tuple:
+    """``("graph", scenario, nodes, seed)`` from a request body."""
+    scenario = payload.get("scenario")
+    if not isinstance(scenario, str) or scenario not in SCENARIOS:
+        raise BadRequest(
+            f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+        )
+    nodes = _require_int(payload, "nodes", minimum=1)
+    seed = _optional_int(payload, "seed", default=0)
+    return ("graph", SCENARIOS.canonical(scenario), nodes, seed)
+
+
+def workload_key(payload: dict) -> tuple:
+    """``("workload", scenario, nodes, seed, wseed, size, recursion)``."""
+    _, scenario, nodes, seed = graph_key(payload)
+    workload_seed = _optional_int(payload, "workload_seed", default=seed)
+    size = _optional_int(payload, "size", default=10)
+    if size < 1:
+        raise BadRequest(f"field 'size' must be >= 1, got {size}")
+    recursion = payload.get("recursion", 0.0)
+    if not isinstance(recursion, (int, float)) or not 0.0 <= recursion <= 1.0:
+        raise BadRequest(
+            f"field 'recursion' must be a probability, got {recursion!r}"
+        )
+    return ("workload", scenario, nodes, seed, workload_seed, size,
+            float(recursion))
+
+
+def encode_key(key: tuple) -> str:
+    """Stable reference string for an artifact key (``graph/bib/5000/7``)."""
+    return "/".join(str(part) for part in key)
+
+
+def decode_workload_key(ref: str) -> tuple:
+    """Parse a workload reference back into its key tuple."""
+    parts = ref.split("/")
+    if len(parts) != 7 or parts[0] != "workload":
+        raise BadRequest(f"malformed workload reference {ref!r}")
+    try:
+        return ("workload", parts[1], int(parts[2]), int(parts[3]),
+                int(parts[4]), int(parts[5]), float(parts[6]))
+    except ValueError:
+        raise BadRequest(f"malformed workload reference {ref!r}") from None
+
+
+def budget_from_payload(
+    payload: dict,
+    default_timeout: float,
+    token: CancellationToken,
+) -> ExecutionContext:
+    """The request's :class:`ExecutionContext` (always token-bearing).
+
+    Every request gets a context even without explicit budget fields:
+    the service default timeout applies, and the token is what lets a
+    client disconnect cancel the evaluation cooperatively.
+    """
+    on_budget = payload.get("on_budget", "raise")
+    if on_budget not in ON_BUDGET_MODES:
+        raise BadRequest(
+            f"field 'on_budget' must be one of {ON_BUDGET_MODES}, "
+            f"got {on_budget!r}"
+        )
+    timeout = payload.get("timeout", default_timeout)
+    if not isinstance(timeout, (int, float)) or timeout <= 0:
+        raise BadRequest(f"field 'timeout' must be > 0 seconds, got {timeout!r}")
+    kwargs: dict = {"timeout_seconds": float(timeout)}
+    max_rows = _optional_int(payload, "max_rows")
+    if max_rows is not None:
+        if max_rows < 1:
+            raise BadRequest(f"field 'max_rows' must be >= 1, got {max_rows}")
+        kwargs["max_rows"] = max_rows
+    max_bytes = _optional_int(payload, "max_bytes")
+    if max_bytes is not None:
+        if max_bytes < 1:
+            raise BadRequest(f"field 'max_bytes' must be >= 1, got {max_bytes}")
+        kwargs["max_bytes"] = max_bytes
+    return ExecutionContext(on_budget=on_budget, token=token, **kwargs)

@@ -1,0 +1,166 @@
+"""Process composition: the long-lived ``gmark serve`` service.
+
+:class:`GmarkService` wires the serving subsystem together — one
+:class:`~repro.service.store.ArtifactStore`, one
+:class:`~repro.service.pool.WorkerPool`, one
+:class:`~repro.service.app.ServiceApp` — under a stdlib
+``ThreadingHTTPServer`` (one handler thread per connection; the pool,
+not the connection count, bounds evaluation concurrency).
+
+Lifecycle::
+
+    service = GmarkService(ServiceConfig(port=0, workers=4))
+    service.start()            # background accept loop; port resolved
+    ...
+    service.shutdown()         # graceful drain (see below)
+
+Graceful drain (the SIGTERM path wired by
+:meth:`install_signal_handlers` / the CLI): mark the app draining so
+keep-alive connections get 503 for new work, stop the accept loop,
+join the in-flight handler threads, drain the worker pool, flush the
+structured-log handlers.  In-flight requests always finish; nothing new
+starts.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import threading
+from dataclasses import dataclass
+from http.server import ThreadingHTTPServer
+
+from repro.observability.log import ROOT_LOGGER, get_logger
+from repro.service.app import RequestHandler, ServiceApp
+from repro.service.pool import WorkerPool
+from repro.service.store import ArtifactStore
+
+_log = get_logger("service.server")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service process (the ``gmark serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8090
+    workers: int = 4
+    max_queue: int = 16
+    default_timeout: float = 60.0
+    cache_capacity: int = 8
+
+
+class _Server(ThreadingHTTPServer):
+    # Handler threads are joined explicitly during drain; daemonic so a
+    # hung client can never block interpreter exit.
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class GmarkService:
+    """One serving process: store + pool + app + HTTP server."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.store = ArtifactStore(capacity=self.config.cache_capacity)
+        self.pool = WorkerPool(
+            workers=self.config.workers, max_queue=self.config.max_queue
+        )
+        self.app = ServiceApp(
+            self.store, self.pool, default_timeout=self.config.default_timeout
+        )
+        self._httpd: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._httpd is None:
+            raise RuntimeError("service is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "GmarkService":
+        """Bind and serve on a background thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        self._httpd = _Server(
+            (self.config.host, self.config.port), RequestHandler
+        )
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="gmark-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "serving on %s (workers=%d, queue=%d, cache=%d)",
+            self.address, self.config.workers, self.config.max_queue,
+            self.config.cache_capacity,
+        )
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` every in-flight request finishes.
+
+        Idempotent and safe to call from a signal-notified thread: the
+        accept loop runs on its own thread, so ``httpd.shutdown()``
+        never deadlocks against ``serve_forever``.
+        """
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.app.drain()  # keep-alive connections see 503 for new work
+        if self._httpd is not None:
+            self._httpd.shutdown()  # stop accepting; accept thread exits
+            if self._thread is not None:
+                self._thread.join()
+            self._httpd.server_close()
+        self.pool.shutdown(drain=drain)
+        for handler in logging.getLogger(ROOT_LOGGER).handlers:
+            try:
+                handler.flush()
+            except Exception:  # noqa: BLE001 — flushing is best-effort
+                pass
+        _log.info("service stopped (drained=%s)", drain)
+
+    # -- signals -------------------------------------------------------
+
+    def install_signal_handlers(self, stop_event: threading.Event) -> None:
+        """SIGTERM/SIGINT → set ``stop_event`` (the serve loop's cue).
+
+        The handler only sets the event — the actual drain runs on the
+        main thread after its wait returns, never inside the signal
+        frame.
+        """
+
+        def request_stop(signum, frame):  # noqa: ARG001
+            _log.info("received signal %d: draining", signum)
+            stop_event.set()
+
+        signal.signal(signal.SIGTERM, request_stop)
+        signal.signal(signal.SIGINT, request_stop)
+
+    def serve_until_stopped(self) -> None:
+        """Blocking foreground loop: start, wait for a signal, drain."""
+        stop = threading.Event()
+        self.install_signal_handlers(stop)
+        self.start()
+        try:
+            stop.wait()
+        finally:
+            self.shutdown(drain=True)
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped.is_set() else (
+            "serving" if self._httpd else "new"
+        )
+        return f"GmarkService({state}, {self.config!r})"

@@ -1,0 +1,115 @@
+"""Thread-safe, LRU-bounded artifact cache with single-flight fills.
+
+The serving layer's whole point is that many clients share one
+generated artifact: a 50k-node graph pinned by ``(scenario, nodes,
+seed)`` is generated exactly once no matter how many requests race for
+it.  :class:`ArtifactStore` provides that guarantee generically:
+
+* **single-flight** — the first thread to miss a key becomes the
+  *leader* and runs the factory; concurrent requests for the same key
+  block on the leader's event (recorded as ``service.cache.inflight``)
+  and adopt its artifact when it lands.  A failed leader leaves no
+  entry behind, and the next waiter retries as the new leader — the
+  same transactional fill-after-success discipline as the
+  :class:`~repro.session.Session` stage caches;
+* **LRU bound** — at most ``capacity`` artifacts stay live; touching an
+  entry refreshes it, and inserts evict the least-recently-used entry
+  (``service.cache.evicted``).  Generated graphs are the dominant
+  memory consumer of a long-lived process, so the bound is what lets
+  the service stay up for days;
+* **metrics** — every lookup lands in ``service.cache.hit`` /
+  ``service.cache.miss``; the gauge ``service.cache.entries`` tracks
+  occupancy for the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+
+T = TypeVar("T")
+
+_log = get_logger("service.store")
+
+
+class ArtifactStore:
+    """Keyed get-or-create cache: thread-safe, single-flight, LRU-bounded."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._inflight: dict[Hashable, threading.Event] = {}
+
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], T]
+    ) -> tuple[T, bool]:
+        """The artifact under ``key``, generating it at most once.
+
+        Returns ``(artifact, hit)`` — ``hit`` is False for the leader
+        that actually ran ``factory`` and True for everyone who reused
+        the cached (or just-landed) artifact.  The factory runs outside
+        the store lock, so fills of *different* keys proceed in
+        parallel and a factory may itself nest store lookups.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    METRICS.counter("service.cache.hit").inc()
+                    return self._entries[key], True  # type: ignore[return-value]
+                event = self._inflight.get(key)
+                if event is None:
+                    event = self._inflight[key] = threading.Event()
+                    break  # this thread generates
+            METRICS.counter("service.cache.inflight").inc()
+            event.wait()
+        METRICS.counter("service.cache.miss").inc()
+        try:
+            value = factory()
+            with self._lock:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    evicted, _ = self._entries.popitem(last=False)
+                    METRICS.counter("service.cache.evicted").inc()
+                    _log.info("evicted artifact %r (capacity %d)",
+                              evicted, self.capacity)
+                METRICS.gauge("service.cache.entries").set(len(self._entries))
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            event.set()
+        return value, False
+
+    def peek(self, key: Hashable):
+        """The cached artifact or None — no fill, no LRU touch."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def keys(self) -> list:
+        """The live keys, least-recently-used first (a snapshot)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            METRICS.gauge("service.cache.entries").set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({len(self)}/{self.capacity} entries)"

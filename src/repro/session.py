@@ -23,6 +23,7 @@ scenarios, and graph writers all resolve through their shared
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.config.xml_io import graph_config_from_xml, graph_config_to_xml
 from repro.engine.budget import EvaluationBudget
@@ -74,6 +75,13 @@ class Session:
         self._graphs: dict[int | None, LabeledGraph] = {}
         self._workloads: dict[tuple, Workload] = {}
         self._queries: dict[str, Query] = {}
+        # Stage caches are shared state once a session serves concurrent
+        # callers (the service's worker pool, any threaded embedder):
+        # fills are single-flight per key — one generating leader, peers
+        # block on its event — so the same graph is never generated
+        # twice and the cache dicts are never raced.
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, threading.Event] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -143,23 +151,58 @@ class Session:
     def _seed(self, seed: int | None) -> int | None:
         return self.seed if seed is None else seed
 
+    def _single_flight(self, cache: dict, kind: str, key, produce):
+        """Get-or-fill ``cache[key]`` with at most one producer thread.
+
+        The first thread to miss becomes the leader and generates;
+        concurrent callers of the same key block on the leader's event
+        and re-check the cache when it settles.  The fill stays
+        transactional — the entry is stored only after ``produce``
+        returned, so a failed leader (budget abort, injected fault)
+        leaves nothing behind and the next waiter retries as the new
+        leader.  Returns ``(value, hit)``.
+        """
+        token = (kind, key)
+        while True:
+            with self._lock:
+                value = cache.get(key)
+                if value is not None:
+                    return value, True
+                event = self._inflight.get(token)
+                if event is None:
+                    event = self._inflight[token] = threading.Event()
+                    break  # this thread generates
+            event.wait()
+        try:
+            value = produce()
+            with self._lock:
+                cache[key] = value
+        finally:
+            with self._lock:
+                del self._inflight[token]
+            event.set()
+        return value, False
+
     def graph(self, seed: int | None = None) -> LabeledGraph:
         """The generated instance (cached per effective seed).
 
         The cache fill is transactional: the entry is stored only after
         generation completed, so a failure (budget abort, injected
         fault) never leaves a half-built graph behind — the next call
-        regenerates from scratch.
+        regenerates from scratch.  Fills are also single-flight across
+        threads: concurrent requests for the same seed block on one
+        generation instead of racing the cache.
         """
         effective = self._seed(seed)
-        graph = self._graphs.get(effective)
-        if graph is None:
+
+        def produce() -> LabeledGraph:
             METRICS.counter("session.graph.cache_misses").inc()
             with timed_stage("session.graph", seed=effective):
                 FAULTS.hit(_FP_GRAPH_CACHE)
-                graph = generate_graph(self.config, effective)
-            self._graphs[effective] = graph
-        else:
+                return generate_graph(self.config, effective)
+
+        graph, hit = self._single_flight(self._graphs, "graph", effective, produce)
+        if hit:
             METRICS.counter("session.graph.cache_hits").inc()
         return graph
 
@@ -199,17 +242,21 @@ class Session:
                 hash(key)
             except TypeError:
                 key = None
-        if key is not None and key in self._workloads:
+
+        def produce() -> Workload:
+            METRICS.counter("session.workload.cache_misses").inc()
+            config = configuration
+            if config is None:
+                config = self.workload_configuration(size, **options)
+            with timed_stage("session.workload", size=size):
+                FAULTS.hit(_FP_WORKLOAD_CACHE)
+                return generate_workload(config, effective)
+
+        if key is None:  # unhashable options / explicit configuration
+            return produce()
+        workload, hit = self._single_flight(self._workloads, "workload", key, produce)
+        if hit:
             METRICS.counter("session.workload.cache_hits").inc()
-            return self._workloads[key]
-        METRICS.counter("session.workload.cache_misses").inc()
-        if configuration is None:
-            configuration = self.workload_configuration(size, **options)
-        with timed_stage("session.workload", size=size):
-            FAULTS.hit(_FP_WORKLOAD_CACHE)
-            workload = generate_workload(configuration, effective)
-        if key is not None:
-            self._workloads[key] = workload
         return workload
 
     # -- translation ----------------------------------------------------
@@ -234,11 +281,15 @@ class Session:
         """Parse UCRPQ text (memoized); ``Query`` objects pass through."""
         if isinstance(text, Query):
             return text
-        query = self._queries.get(text)
+        with self._lock:
+            query = self._queries.get(text)
         if query is None:
             METRICS.counter("session.query.cache_misses").inc()
             query = parse_query(text)
-            self._queries[text] = query
+            # Idempotent fill: a concurrent parse of the same text wins
+            # or loses atomically — both results are equivalent.
+            with self._lock:
+                query = self._queries.setdefault(text, query)
         else:
             METRICS.counter("session.query.cache_hits").inc()
         return query

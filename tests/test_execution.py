@@ -431,6 +431,43 @@ class TestPartialResults:
         assert session.evaluate(QUERY_2, "datalog", budget=ctx).complete
 
 
+class TestAbortReportJson:
+    """The wire form: ``to_json``/``from_json`` round-trips exactly."""
+
+    def test_round_trip_preserves_fields(self):
+        report = AbortReport(
+            reason="row budget exhausted",
+            resource="rows",
+            elapsed_seconds=0.25,
+            span_path="evaluate/join",
+            amount=100,
+            peak_bytes=4096,
+            degraded_events=[{"stage": "join"}, {"stage": "gather"}],
+        )
+        restored = AbortReport.from_json(report.to_json())
+        assert restored.reason == report.reason
+        assert restored.resource == report.resource
+        assert restored.elapsed_seconds == report.elapsed_seconds
+        assert restored.span_path == report.span_path
+        assert restored.amount == report.amount
+        assert restored.peak_bytes == report.peak_bytes
+        # The summary flattens events to a count; placeholders round-trip it.
+        assert len(restored.degraded_events) == 2
+        assert restored.to_json() == report.to_json()
+
+    def test_round_trip_from_real_abort(self, session):
+        ctx = ExecutionContext(max_rows=50, on_budget="partial", degrade=False)
+        result = session.evaluate(QUERY_2, "datalog", budget=ctx)
+        report = result.abort_report
+        restored = AbortReport.from_json(report.to_json())
+        assert restored.resource == "rows"
+        assert restored.to_dict() == report.to_dict()
+
+    def test_from_dict_rejects_foreign_records(self):
+        with pytest.raises(ValueError):
+            AbortReport.from_dict({"kind": "metric", "reason": "nope"})
+
+
 # -- Session integration ------------------------------------------------
 
 

@@ -17,6 +17,8 @@ Three pillars of the PR-4 redesign are pinned here:
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -197,6 +199,62 @@ class TestResultSetCompatShim:
         rows = [(1, 2), (1, 2), (3, 4)]
         rs = ResultSet(rows)
         assert rs.count() == rs.count_distinct() == len(set(rows))
+
+
+class TestIterNdjson:
+    """The serving wire format: header, row lines, optional abort trailer."""
+
+    @staticmethod
+    def _decode(rs, **kwargs):
+        lines = "".join(rs.iter_ndjson(**kwargs)).splitlines()
+        return json.loads(lines[0]), [json.loads(line) for line in lines[1:]]
+
+    def test_binary_round_trip(self):
+        rs = ResultSet([(3, 1), (0, 2), (3, 1)])
+        header, rows = self._decode(rs)
+        assert header == {"record": "result", "arity": 2, "rows": 2,
+                          "complete": True}
+        assert {tuple(row) for row in rows} == rs.to_set()
+
+    def test_unary_and_kary_shapes(self):
+        header, rows = self._decode(ResultSet([(5,), (2,)]))
+        assert header["arity"] == 1
+        assert {tuple(row) for row in rows} == {(5,), (2,)}
+        header, rows = self._decode(ResultSet([(1, 2, 3), (4, 5, 6)]))
+        assert header["arity"] == 3 and header["rows"] == 2
+        assert {tuple(row) for row in rows} == {(1, 2, 3), (4, 5, 6)}
+
+    def test_zero_ary_unit(self):
+        header, rows = self._decode(ResultSet.unit())
+        assert header["arity"] == 0 and header["rows"] == 1
+        assert rows == [[]]
+
+    def test_empty_result_is_header_only(self):
+        header, rows = self._decode(ResultSet.empty(2))
+        assert header["rows"] == 0 and rows == []
+
+    def test_chunking_preserves_rows(self):
+        rs = ResultSet([(i, i + 1) for i in range(7)])
+        chunks = list(rs.iter_ndjson(chunk_rows=2))
+        # header + ceil(7/2) row chunks, each chunk holding whole lines
+        assert len(chunks) == 1 + 4
+        header, rows = self._decode(rs, chunk_rows=2)
+        assert header["rows"] == 7 == len(rows)
+        assert {tuple(row) for row in rows} == rs.to_set()
+
+    def test_incomplete_result_carries_abort_trailer(self):
+        from repro.execution.context import AbortReport
+
+        report = AbortReport(reason="row cap", resource="rows", amount=9)
+        rs = ResultSet([(1, 2)]).mark_incomplete(report)
+        lines = "".join(rs.iter_ndjson()).splitlines()
+        header = json.loads(lines[0])
+        trailer = json.loads(lines[-1])
+        assert header["complete"] is False
+        assert trailer["kind"] == "abort"
+        restored = AbortReport.from_json(lines[-1])
+        assert restored.reason == "row cap" and restored.resource == "rows"
+        assert len(lines) == 3  # header + one row + trailer
 
 
 # ---------------------------------------------------------------------------

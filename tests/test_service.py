@@ -1,0 +1,639 @@
+"""Serving-subsystem tests: live HTTP server plus socket-free units.
+
+Two layers, mirroring the service's own design:
+
+* **unit tests** against the socket-free pieces — the
+  :class:`~repro.service.store.ArtifactStore` single-flight/LRU
+  contract, the :class:`~repro.service.pool.WorkerPool` backpressure
+  and cancellation semantics, the protocol's payload↔key/budget
+  mapping, and :meth:`ServiceApp.handle` error routing;
+* an **end-to-end suite** driving a real ``GmarkService`` on an
+  ephemeral port over ``http.client``: concurrent clients sharing one
+  cached graph (exactly one generation, proven by fault-injection hit
+  counters), NDJSON streaming, the budget-partial (200 + incomplete)
+  and raise-mode (503 + abort body) paths, queue-full 429 with
+  ``Retry-After``, a chaos case asserting clean caches after a failed
+  fill, and graceful-drain semantics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExecutionCancelled
+from repro.execution.budget import CancellationToken
+from repro.execution.context import AbortReport
+from repro.execution.faults import FAULTS, InjectedFault
+from repro.observability.metrics import METRICS
+from repro.service import (
+    ArtifactStore,
+    BadRequest,
+    GmarkService,
+    QueueFullError,
+    ServiceApp,
+    ServiceConfig,
+    WorkerPool,
+    encode_key,
+)
+from repro.service.protocol import (
+    budget_from_payload,
+    decode_workload_key,
+    graph_key,
+    workload_key,
+)
+
+NODES = 300  # small enough that a generation is fast, big enough to answer
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore units
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(capacity=0)
+
+    def test_get_or_create_hit_and_miss(self):
+        store = ArtifactStore(capacity=2)
+        value, hit = store.get_or_create("a", lambda: 1)
+        assert (value, hit) == (1, False)
+        value, hit = store.get_or_create("a", lambda: 2)
+        assert (value, hit) == (1, True)  # cached; factory not re-run
+
+    def test_single_flight_runs_factory_once(self):
+        store = ArtifactStore(capacity=4)
+        calls: list[int] = []
+        barrier = threading.Barrier(8)
+        results: list[tuple] = []
+
+        def factory():
+            calls.append(1)
+            time.sleep(0.05)  # hold the fill open so everyone piles up
+            return object()
+
+        def work():
+            barrier.wait()
+            results.append(store.get_or_create("k", factory))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        values = {id(value) for value, _ in results}
+        assert len(values) == 1  # everyone adopted the leader's artifact
+        assert sum(1 for _, hit in results if not hit) == 1  # one leader
+
+    def test_failed_fill_leaves_nothing_and_retries(self):
+        store = ArtifactStore(capacity=2)
+        with pytest.raises(InjectedFault):
+            store.get_or_create("k", lambda: (_ for _ in ()).throw(
+                InjectedFault("bad fill")
+            ))
+        assert "k" not in store and len(store) == 0
+        assert store._inflight == {}  # no stuck leader event
+        value, hit = store.get_or_create("k", lambda: 7)
+        assert (value, hit) == (7, False)  # next caller is a fresh leader
+
+    def test_lru_eviction_order(self):
+        store = ArtifactStore(capacity=2)
+        store.get_or_create("a", lambda: 1)
+        store.get_or_create("b", lambda: 2)
+        store.get_or_create("a", lambda: 0)  # touch refreshes "a"
+        store.get_or_create("c", lambda: 3)  # evicts LRU = "b"
+        assert store.keys() == ["a", "c"]
+        assert "b" not in store
+
+    def test_peek_does_not_touch_lru(self):
+        store = ArtifactStore(capacity=2)
+        store.get_or_create("a", lambda: 1)
+        store.get_or_create("b", lambda: 2)
+        assert store.peek("a") == 1
+        store.get_or_create("c", lambda: 3)  # "a" still LRU despite peek
+        assert store.keys() == ["b", "c"]
+        assert store.peek("missing") is None
+
+    def test_clear(self):
+        store = ArtifactStore(capacity=2)
+        store.get_or_create("a", lambda: 1)
+        store.clear()
+        assert len(store) == 0 and store.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool units
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_submit_runs_and_returns_result(self):
+        pool = WorkerPool(workers=2, max_queue=4)
+        try:
+            job = pool.submit(lambda: 40 + 2)
+            assert job.wait(0.01) is True
+            assert job.result == 42 and job.error is None
+        finally:
+            pool.shutdown()
+
+    def test_error_settles_job(self):
+        pool = WorkerPool(workers=1, max_queue=2)
+        try:
+            job = pool.submit(lambda: 1 / 0)
+            assert job.wait(0.01) is False
+            assert isinstance(job.error, ZeroDivisionError)
+        finally:
+            pool.shutdown()
+
+    def test_full_queue_rejects_immediately(self):
+        pool = WorkerPool(workers=1, max_queue=1)
+        gate = threading.Event()
+        try:
+            pool.submit(gate.wait)
+            assert _wait_until(lambda: pool.inflight == 1)
+            pool.submit(gate.wait)  # fills the single queue slot
+            with pytest.raises(QueueFullError) as excinfo:
+                pool.submit(gate.wait, retry_after_seconds=2.5)
+            assert excinfo.value.retry_after_seconds == 2.5
+            assert excinfo.value.depth == 1
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_cancelled_queued_job_never_starts(self):
+        pool = WorkerPool(workers=1, max_queue=2)
+        gate = threading.Event()
+        ran: list[int] = []
+        try:
+            pool.submit(gate.wait)
+            assert _wait_until(lambda: pool.inflight == 1)
+            job = pool.submit(lambda: ran.append(1))
+            job.cancel("test cancel")
+            gate.set()
+            assert job.done.wait(5.0)
+            assert job.cancelled and not job.started and ran == []
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_wait_cancels_via_disconnect_probe(self):
+        """A vanished client cancels the running job cooperatively."""
+        pool = WorkerPool(workers=1, max_queue=2)
+        token = CancellationToken()
+        observed = threading.Event()
+
+        def fn():
+            # Stand-in for an evaluation polling its budget yield points.
+            while not token.cancelled:
+                time.sleep(0.002)
+            observed.set()
+            raise ExecutionCancelled("stopped at yield point")
+
+        before = METRICS.counter("service.request.cancelled").value
+        try:
+            job = pool.submit(fn, token=token)
+            completed = job.wait(0.01, should_cancel=lambda: True)
+            assert completed is False and job.cancelled
+            assert observed.wait(5.0)  # the worker really saw the cancel
+            assert isinstance(job.error, ExecutionCancelled)
+            after = METRICS.counter("service.request.cancelled").value
+            assert after == before + 1
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_without_drain_cancels_queued_jobs(self):
+        pool = WorkerPool(workers=1, max_queue=4)
+        gate = threading.Event()
+        ran: list[int] = []
+        pool.submit(gate.wait)
+        assert _wait_until(lambda: pool.inflight == 1)
+        queued = pool.submit(lambda: ran.append(1))
+        stopper = threading.Thread(target=lambda: pool.shutdown(drain=False))
+        stopper.start()
+        assert queued.done.wait(5.0)
+        assert queued.cancelled and ran == []
+        gate.set()  # the in-flight blocker still finishes
+        stopper.join(5.0)
+        assert not stopper.is_alive()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Protocol units
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_graph_key_defaults_and_shape(self):
+        assert graph_key({"scenario": "bib", "nodes": 500}) == \
+            ("graph", "bib", 500, 0)
+        assert graph_key({"scenario": "bib", "nodes": 500, "seed": 7}) == \
+            ("graph", "bib", 500, 7)
+
+    def test_graph_key_rejects_bad_payloads(self):
+        with pytest.raises(BadRequest, match="unknown scenario"):
+            graph_key({"scenario": "tpch", "nodes": 10})
+        with pytest.raises(BadRequest, match="nodes"):
+            graph_key({"scenario": "bib"})
+        with pytest.raises(BadRequest, match="nodes"):
+            graph_key({"scenario": "bib", "nodes": True})  # bools rejected
+        with pytest.raises(BadRequest, match="seed"):
+            graph_key({"scenario": "bib", "nodes": 10, "seed": "x"})
+
+    def test_workload_key_defaults(self):
+        key = workload_key({"scenario": "bib", "nodes": 500, "seed": 3})
+        assert key == ("workload", "bib", 500, 3, 3, 10, 0.0)
+        key = workload_key({
+            "scenario": "bib", "nodes": 500, "seed": 3,
+            "workload_seed": 9, "size": 4, "recursion": 0.5,
+        })
+        assert key == ("workload", "bib", 500, 3, 9, 4, 0.5)
+
+    def test_workload_key_validation(self):
+        with pytest.raises(BadRequest, match="size"):
+            workload_key({"scenario": "bib", "nodes": 5, "size": 0})
+        with pytest.raises(BadRequest, match="recursion"):
+            workload_key({"scenario": "bib", "nodes": 5, "recursion": 1.5})
+
+    def test_key_reference_round_trip(self):
+        key = ("workload", "bib", 500, 3, 9, 4, 0.25)
+        assert decode_workload_key(encode_key(key)) == key
+        with pytest.raises(BadRequest):
+            decode_workload_key("graph/bib/500/3")
+        with pytest.raises(BadRequest):
+            decode_workload_key("workload/bib/x/3/9/4/0.25")
+
+    def test_budget_from_payload(self):
+        token = CancellationToken()
+        context = budget_from_payload({}, 42.0, token)
+        assert context.timeout_seconds == 42.0
+        assert context.on_budget == "raise"
+        assert context.token is token
+        context = budget_from_payload(
+            {"timeout": 5, "max_rows": 10, "max_bytes": 1 << 20,
+             "on_budget": "partial"},
+            42.0, token,
+        )
+        assert context.timeout_seconds == 5.0
+        assert context.max_rows == 10 and context.max_bytes == 1 << 20
+        assert context.on_budget == "partial"
+
+    def test_budget_validation(self):
+        token = CancellationToken()
+        with pytest.raises(BadRequest, match="on_budget"):
+            budget_from_payload({"on_budget": "explode"}, 1.0, token)
+        with pytest.raises(BadRequest, match="timeout"):
+            budget_from_payload({"timeout": 0}, 1.0, token)
+        with pytest.raises(BadRequest, match="max_rows"):
+            budget_from_payload({"max_rows": 0}, 1.0, token)
+
+
+# ---------------------------------------------------------------------------
+# ServiceApp routing (socket-free)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceAppRouting:
+    @pytest.fixture()
+    def app(self):
+        app = ServiceApp(ArtifactStore(capacity=2), WorkerPool(1, 2))
+        yield app
+        app.pool.shutdown()
+
+    def test_unknown_route_is_404(self, app):
+        response = app.handle("GET", "/v1/nothing")
+        assert response.status == 404
+
+    def test_bad_request_maps_to_its_status(self, app):
+        response = app.handle("POST", "/v1/graphs", {"scenario": "tpch"})
+        assert response.status == 400
+        assert "unknown scenario" in response.payload["error"]
+
+    def test_draining_rejects_work_but_keeps_introspection(self, app):
+        app.drain()
+        rejected = app.handle(
+            "POST", "/v1/graphs", {"scenario": "bib", "nodes": 10}
+        )
+        assert rejected.status == 503
+        health = app.handle("GET", "/healthz")
+        assert health.status == 503  # draining is an unhealthy liveness
+        assert health.payload["status"] == "draining"
+        metrics = app.handle("GET", "/metrics")
+        assert metrics.status == 200
+
+    def test_queue_full_maps_to_429(self, app):
+        gate = threading.Event()
+        try:
+            app.pool.submit(gate.wait)
+            assert _wait_until(lambda: app.pool.inflight == 1)
+            app.pool.submit(gate.wait)
+            app.pool.submit(gate.wait)  # queue (capacity 2) now full
+            response = app.handle(
+                "POST", "/v1/graphs", {"scenario": "bib", "nodes": 10}
+            )
+            assert response.status == 429
+            assert int(response.headers["Retry-After"]) >= 1
+        finally:
+            gate.set()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: a live server on an ephemeral port
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = GmarkService(ServiceConfig(
+        port=0, workers=2, max_queue=4, cache_capacity=4,
+        default_timeout=30.0,
+    ))
+    svc.start()
+    yield svc
+    svc.shutdown(drain=True)
+
+
+def _request(port: int, method: str, path: str, payload=None, timeout=30.0):
+    """One HTTP exchange; returns ``(status, headers, body_bytes)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()  # http.client de-chunks for us
+        return response.status, dict(response.getheaders()), data
+    finally:
+        conn.close()
+
+
+def _ndjson(body: bytes) -> list:
+    return [json.loads(line) for line in body.decode().splitlines() if line]
+
+
+class TestLiveService:
+    def test_healthz(self, service):
+        status, _, body = _request(service.port, "GET", "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["cache_entries"] >= 0
+
+    def test_concurrent_clients_share_one_generation(self, service):
+        """Four racing clients; the graph is generated exactly once."""
+        payload = {"scenario": "bib", "nodes": NODES, "seed": 41}
+        results: list[tuple] = []
+
+        def client():
+            status, _, body = _request(service.port, "POST", "/v1/graphs",
+                                       payload)
+            results.append((status, json.loads(body)))
+
+        # nth=0 never fires: the armed plan is a pure hit counter on the
+        # Session graph-fill point, i.e. a generation counter.
+        with FAULTS.inject("session.graph_cache", nth=0) as plan:
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert plan.hits == 1  # exactly one generation ran
+        assert [status for status, _ in results] == [200] * 4
+        bodies = [body for _, body in results]
+        assert sum(1 for body in bodies if body["generated"]) == 1
+        assert len({body["key"] for body in bodies}) == 1
+        edges = {body["graph"]["graph_edges"] for body in bodies}
+        assert len(edges) == 1 and edges.pop() > 0
+
+    def test_evaluate_streams_ndjson(self, service):
+        status, headers, body = _request(service.port, "POST", "/v1/evaluate", {
+            "scenario": "bib", "nodes": NODES, "seed": 41,
+            "query": "(?x, ?y) <- (?x, authors, ?y)",
+            "engine": "datalog",
+        })
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        assert headers.get("Transfer-Encoding") == "chunked"
+        records = _ndjson(body)
+        header, rows = records[0], records[1:]
+        assert header["record"] == "result" and header["complete"] is True
+        assert header["arity"] == 2 and header["rows"] == len(rows)
+        assert header["rows"] > 0
+        assert all(len(row) == 2 for row in rows)
+
+    def test_engine_letter_alias_agrees(self, service):
+        request = {
+            "scenario": "bib", "nodes": NODES, "seed": 41,
+            "query": "(?x, ?y) <- (?x, authors.publishedIn, ?y)",
+        }
+        _, _, datalog = _request(service.port, "POST", "/v1/evaluate",
+                                 {**request, "engine": "datalog"})
+        _, _, letter = _request(service.port, "POST", "/v1/evaluate",
+                                {**request, "engine": "P"})
+        key = lambda rows: sorted(map(tuple, rows))  # noqa: E731
+        assert key(_ndjson(datalog)[1:]) == key(_ndjson(letter)[1:])
+
+    def test_partial_budget_streams_incomplete_result(self, service):
+        status, _, body = _request(service.port, "POST", "/v1/evaluate", {
+            "scenario": "bib", "nodes": NODES, "seed": 41,
+            "query": "(?x, ?y) <- (?x, authors.publishedIn, ?y)",
+            "max_rows": 1, "on_budget": "partial",
+        })
+        assert status == 200
+        records = _ndjson(body)
+        header, trailer = records[0], records[-1]
+        assert header["complete"] is False
+        assert trailer["kind"] == "abort"
+        report = AbortReport.from_json(json.dumps(trailer))
+        assert report.resource == "rows"
+        assert header["rows"] == len(records) - 2  # header + rows + abort
+
+    def test_raise_budget_is_503_with_report_body(self, service):
+        status, headers, body = _request(service.port, "POST", "/v1/evaluate", {
+            "scenario": "bib", "nodes": NODES, "seed": 41,
+            "query": "(?x, ?y) <- (?x, authors.publishedIn, ?y)",
+            "max_rows": 1, "on_budget": "raise",
+        })
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        report = AbortReport.from_json(body.decode())
+        assert report.resource == "rows" and report.amount is not None
+
+    def test_workload_round_trip_and_evaluate_by_ref(self, service):
+        status, _, body = _request(service.port, "POST", "/v1/workloads", {
+            "scenario": "bib", "nodes": NODES, "seed": 41, "size": 3,
+        })
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["workload"]["count"] == 3
+        ref = payload["key"]
+        assert ref.startswith("workload/bib/")
+        status, _, body = _request(service.port, "POST", "/v1/evaluate", {
+            "workload": ref, "index": 1,
+        })
+        assert status == 200
+        header = _ndjson(body)[0]
+        assert header["record"] == "result"
+
+    def test_error_paths(self, service):
+        cases = [
+            ("POST", "/v1/graphs", {"scenario": "tpch", "nodes": 10}, 400),
+            ("POST", "/v1/graphs", {"scenario": "bib"}, 400),
+            ("POST", "/v1/evaluate",
+             {"scenario": "bib", "nodes": NODES, "seed": 41,
+              "query": "(?x ?y) <-"}, 400),  # syntax error
+            ("POST", "/v1/evaluate",
+             {"scenario": "bib", "nodes": NODES, "seed": 41,
+              "query": "(?x, ?y) <- (?x, authors, ?y)",
+              "engine": "neo4j"}, 400),
+            ("POST", "/v1/evaluate",
+             {"workload": "workload/bib/999999/1/1/3/0.0"}, 404),
+            ("GET", "/v1/elsewhere", None, 404),
+        ]
+        for method, path, payload, expected in cases:
+            status, _, _ = _request(service.port, method, path, payload)
+            assert status == expected, (method, path, payload)
+
+    def test_malformed_bodies(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10)
+        try:
+            conn.request("POST", "/v1/graphs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+            conn.request("POST", "/v1/graphs", body=b"[1, 2]",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"JSON object" in response.read()
+        finally:
+            conn.close()
+
+    def test_queue_full_gives_429_with_retry_after(self, service):
+        gate = threading.Event()
+        blockers = []
+        try:
+            # Saturate both workers first, then fill every queue slot.
+            for _ in range(service.config.workers):
+                blockers.append(service.pool.submit(gate.wait))
+            assert _wait_until(
+                lambda: service.pool.inflight == service.config.workers
+            )
+            for _ in range(service.config.max_queue):
+                blockers.append(service.pool.submit(gate.wait))
+            status, headers, body = _request(
+                service.port, "POST", "/v1/graphs",
+                {"scenario": "bib", "nodes": NODES, "seed": 41},
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue full" in json.loads(body)["error"]
+            rejected = METRICS.counter("service.queue.rejected").value
+            assert rejected >= 1
+        finally:
+            gate.set()
+            for job in blockers:
+                job.done.wait(5.0)
+
+    def test_chaos_failed_fill_leaves_clean_cache_then_recovers(self, service):
+        """An injected generation fault is a 500, not a poisoned cache."""
+        payload = {"scenario": "bib", "nodes": NODES, "seed": 97}
+        key = ("graph", "bib", NODES, 97)
+        errors = METRICS.counter("service.request.errors")
+        before = errors.value
+        with FAULTS.inject("session.graph_cache", InjectedFault, nth=1):
+            status, _, body = _request(service.port, "POST", "/v1/graphs",
+                                       payload)
+            assert status == 500
+            assert "InjectedFault" in json.loads(body)["error"]
+            assert key not in service.store  # failed fill left nothing
+            assert service.store._inflight == {}
+            # Retry inside the same injection window succeeds (plans fire
+            # on exactly the Nth hit).
+            status, _, body = _request(service.port, "POST", "/v1/graphs",
+                                       payload)
+            assert status == 200 and json.loads(body)["generated"] is True
+        assert key in service.store
+        assert errors.value == before + 1
+
+    def test_metrics_endpoint_exports_service_series(self, service):
+        status, headers, body = _request(service.port, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        records = _ndjson(body)
+        names = {record["name"] for record in records}
+        assert {"service.cache.hit", "service.cache.miss",
+                "service.queue.submitted", "service.request.count"} <= names
+        histograms = {
+            record["name"] for record in records
+            if record.get("type") == "histogram"
+        }
+        assert "service.request.graphs.seconds" in histograms
+        assert "service.request.evaluate.seconds" in histograms
+
+
+class TestGracefulDrain:
+    def test_shutdown_waits_for_inflight_work(self):
+        service = GmarkService(ServiceConfig(port=0, workers=1, max_queue=2,
+                                             cache_capacity=2))
+        service.start()
+        port = service.port
+        status, _, _ = _request(port, "GET", "/healthz")
+        assert status == 200
+        gate = threading.Event()
+        service.pool.submit(gate.wait)  # in-flight work to drain
+        assert _wait_until(lambda: service.pool.inflight == 1)
+
+        stopper = threading.Thread(target=lambda: service.shutdown(drain=True))
+        stopper.start()
+        assert _wait_until(lambda: service.app.draining)
+        # Drain is blocked on the in-flight job, not finished.
+        time.sleep(0.05)
+        assert stopper.is_alive()
+        # New work through the app is refused while draining.
+        refused = service.app.handle(
+            "POST", "/v1/graphs", {"scenario": "bib", "nodes": 10}
+        )
+        assert refused.status == 503
+        gate.set()  # in-flight job completes; drain can finish
+        stopper.join(10.0)
+        assert not stopper.is_alive()
+        # Idempotent: a second shutdown is a no-op.
+        service.shutdown(drain=True)
+        # The socket really closed.
+        with pytest.raises(OSError):
+            _request(port, "GET", "/healthz", timeout=2.0)
+
+    def test_sigterm_handler_only_sets_the_event(self):
+        import signal
+
+        service = GmarkService(ServiceConfig(port=0, workers=1, max_queue=2))
+        stop = threading.Event()
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        try:
+            service.install_signal_handlers(stop)
+            signal.raise_signal(signal.SIGTERM)
+            assert stop.wait(5.0)
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+            service.pool.shutdown()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import Session
@@ -51,6 +53,93 @@ class TestCachedArtifacts:
         assert session.query(text) is session.query(text)
         parsed = parse_query(text)
         assert session.query(parsed) is parsed
+
+
+class TestThreadSafety:
+    """PR-9 contract: stage caches fill once under concurrency and never
+    retain artifacts from a failed fill (single-flight, fill-after-success)."""
+
+    def test_concurrent_graph_fills_generate_once(self):
+        from repro.execution.faults import FAULTS
+
+        fresh = Session.from_scenario("bib", nodes=300, seed=123)
+        results: list = []
+        barrier = threading.Barrier(6)
+
+        def work():
+            barrier.wait()
+            results.append(fresh.graph())
+
+        # nth=0 never fires — the plan is a pure hit counter on the
+        # graph-fill point, i.e. it counts actual generations.
+        with FAULTS.inject("session.graph_cache", nth=0) as plan:
+            threads = [threading.Thread(target=work) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert plan.hits == 1
+        assert len(results) == 6
+        assert all(graph is results[0] for graph in results)
+
+    def test_concurrent_workload_fills_generate_once(self):
+        from repro.execution.faults import FAULTS
+
+        fresh = Session.from_scenario("bib", nodes=300, seed=124)
+        results: list = []
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            results.append(fresh.workload(size=2))
+
+        with FAULTS.inject("session.workload_cache", nth=0) as plan:
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert plan.hits == 1
+        assert all(workload is results[0] for workload in results)
+
+    def test_failed_fill_leaves_cache_empty_then_retries(self):
+        from repro.execution.faults import FAULTS, InjectedFault
+
+        fresh = Session.from_scenario("bib", nodes=300, seed=125)
+        with FAULTS.inject("session.graph_cache", InjectedFault, nth=1):
+            with pytest.raises(InjectedFault):
+                fresh.graph()
+            assert fresh._graphs == {}  # transactional: nothing retained
+            assert fresh._inflight == {}  # no stuck leader event
+            fresh.graph()  # retry inside the same window succeeds
+        assert len(fresh._graphs) == 1
+
+    def test_waiters_see_leader_failure_and_recover(self):
+        from repro.execution.faults import FAULTS, InjectedFault
+
+        fresh = Session.from_scenario("bib", nodes=300, seed=126)
+        outcomes: list = []
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()
+            try:
+                outcomes.append(fresh.graph())
+            except InjectedFault:
+                outcomes.append(None)
+
+        # Exactly one generation attempt fails; a later retry (follower
+        # promoted to leader, or the same thread racing back) lands it.
+        with FAULTS.inject("session.graph_cache", InjectedFault, nth=1):
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        graphs = [graph for graph in outcomes if graph is not None]
+        assert outcomes.count(None) == 1  # only the injected leader failed
+        assert graphs and all(graph is graphs[0] for graph in graphs)
+        assert fresh._graphs and fresh._inflight == {}
 
 
 class TestPipeline:
