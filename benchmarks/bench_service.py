@@ -40,7 +40,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import http.client
 import json
 import logging
 import pathlib
@@ -52,7 +51,7 @@ from conftest import disabled_probe, write_bench_artifact
 from repro.execution.context import ExecutionContext
 from repro.observability.log import ROOT_LOGGER
 from repro.observability.metrics import METRICS
-from repro.service import GmarkService, ServiceConfig
+from repro.service import GmarkService, ServiceClient, ServiceConfig
 from repro.session import Session
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -79,28 +78,17 @@ def _probe_payload(nodes: int, text: str) -> dict:
 
 
 def _service_client(port: int, nodes: int, outcomes: list) -> None:
-    """One client's workload over one keep-alive connection."""
-    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
-    try:
-        def post(path, payload):
-            conn.request("POST", path, body=json.dumps(payload).encode(),
-                         headers={"Content-Type": "application/json"})
-            response = conn.getresponse()
-            return response.status, response.read()
-
-        status, _ = post("/v1/graphs",
-                         {"scenario": "bib", "nodes": nodes, "seed": SEED})
-        assert status == 200
+    """One client's workload over one retrying keep-alive connection."""
+    with ServiceClient("127.0.0.1", port, timeout=300) as client:
+        client.ensure_graph("bib", nodes, seed=SEED)
         probes = []
         for text in QUERIES:
-            status, body = post("/v1/evaluate", _probe_payload(nodes, text))
+            status, body = client.evaluate(_probe_payload(nodes, text))
             assert status == 200
             header = json.loads(body.decode().split("\n", 1)[0])
             assert header["record"] == "result"
             probes.append((header["rows"], header["complete"]))
         outcomes.append(tuple(probes))
-    finally:
-        conn.close()
 
 
 def _run_service(nodes: int) -> tuple[float, list]:

@@ -13,7 +13,13 @@ Subcommands::
                             [--on-budget raise|partial] [--abort-report PATH]
     gmark serve             [--host H] [--port P] [--workers N]
                             [--max-queue N] [--default-timeout S]
-                            [--cache-capacity N]
+                            [--cache-capacity N] [--cache-bytes N]
+                            [--journal PATH] [--max-retries N]
+                            [--watchdog S]
+    gmark jobs submit       --url http://H:P --scenario bib --nodes N
+                            --query "..." [--wait]
+    gmark jobs status       --url http://H:P --job-id ID
+    gmark jobs result       --url http://H:P --job-id ID [--wait]
 
 Every command accepts ``--seed`` for reproducibility and ``-v``/``-vv``
 (before the subcommand) for structured logging on stderr.
@@ -204,6 +210,10 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
         default_timeout=args.default_timeout,
         cache_capacity=args.cache_capacity,
+        cache_bytes=args.cache_bytes,
+        journal_path=args.journal,
+        max_retries=args.max_retries,
+        watchdog_seconds=args.watchdog,
     ))
     stop = threading.Event()
     service.install_signal_handlers(stop)
@@ -217,6 +227,78 @@ def _cmd_serve(args) -> int:
     finally:
         service.shutdown(drain=True)
     print("drained and stopped", flush=True)
+    return 0
+
+
+def _job_client(args):
+    from urllib.parse import urlparse
+
+    from repro.service import ServiceClient
+
+    parsed = urlparse(args.url)
+    if parsed.scheme not in ("", "http") or not parsed.hostname:
+        raise SystemExit(f"--url must be http://HOST:PORT, got {args.url!r}")
+    return ServiceClient(parsed.hostname, parsed.port or 8090,
+                         timeout=args.http_timeout)
+
+
+def _cmd_jobs_submit(args) -> int:
+    from repro.service import JobFailed
+
+    payload = {
+        "scenario": args.scenario,
+        "nodes": args.nodes,
+        "query": args.query,
+        "engine": args.engine,
+    }
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if args.job_timeout is not None:
+        payload["timeout"] = args.job_timeout
+    with _job_client(args) as client:
+        job = client.submit_job(payload)
+        print(f"job {job['job_id']} {job['state']} "
+              f"(created={job['created']})", file=sys.stderr)
+        if not args.wait:
+            print(job["job_id"])
+            return 0
+        try:
+            client.wait_for_job(job["job_id"], timeout=args.wait_timeout)
+        except JobFailed as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        status, body = client.job_result(job["job_id"])
+        if status != 200:
+            print(f"error: result fetch returned {status}", file=sys.stderr)
+            return 1
+        sys.stdout.write(body.decode("utf-8"))
+    return 0
+
+
+def _cmd_jobs_status(args) -> int:
+    import json as _json
+
+    with _job_client(args) as client:
+        job = client.job_status(args.job_id)
+    print(_json.dumps(job, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_jobs_result(args) -> int:
+    from repro.service import JobFailed
+
+    with _job_client(args) as client:
+        if args.wait:
+            try:
+                client.wait_for_job(args.job_id, timeout=args.wait_timeout)
+            except JobFailed as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        status, body = client.job_result(args.job_id)
+    if status != 200:
+        print(f"error: result not available (HTTP {status})", file=sys.stderr)
+        return 1
+    sys.stdout.write(body.decode("utf-8"))
     return 0
 
 
@@ -315,7 +397,58 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-request budget when none is given")
     p_sv.add_argument("--cache-capacity", type=int, default=8,
                       help="LRU bound on cached graph/workload artifacts")
+    p_sv.add_argument("--cache-bytes", type=int, default=None, metavar="N",
+                      help="byte bound on resident cached artifacts "
+                      "(evicts LRU-first; unbounded if omitted)")
+    p_sv.add_argument("--journal", default=None, metavar="PATH",
+                      help="NDJSON job journal; enables restart recovery "
+                      "of submitted jobs")
+    p_sv.add_argument("--max-retries", type=int, default=3,
+                      help="retry budget for transient job failures")
+    p_sv.add_argument("--watchdog", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-job-attempt watchdog deadline")
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="submit/poll durable jobs against a running service"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_client_args(sub_parser):
+        sub_parser.add_argument("--url", default="http://127.0.0.1:8090",
+                                help="service base URL (default: %(default)s)")
+        sub_parser.add_argument("--http-timeout", type=float, default=300.0,
+                                metavar="SECONDS",
+                                help="socket timeout per request")
+        sub_parser.add_argument("--wait-timeout", type=float, default=600.0,
+                                metavar="SECONDS",
+                                help="polling deadline for --wait")
+
+    p_js = jobs_sub.add_parser("submit", help="submit an evaluate job")
+    _add_client_args(p_js)
+    p_js.add_argument("--scenario", required=True)
+    p_js.add_argument("--nodes", type=int, required=True)
+    p_js.add_argument("--seed", type=int, default=None)
+    p_js.add_argument("--query", required=True, help="UCRPQ text")
+    p_js.add_argument("--engine", default="datalog", choices=sorted(ENGINES))
+    p_js.add_argument("--job-timeout", type=float, default=None,
+                      metavar="SECONDS", help="evaluation budget for the job")
+    p_js.add_argument("--wait", action="store_true",
+                      help="poll until the job settles and print its result")
+    p_js.set_defaults(func=_cmd_jobs_submit)
+
+    p_jst = jobs_sub.add_parser("status", help="print a job's state as JSON")
+    _add_client_args(p_jst)
+    p_jst.add_argument("--job-id", required=True)
+    p_jst.set_defaults(func=_cmd_jobs_status)
+
+    p_jr = jobs_sub.add_parser("result", help="print a job's NDJSON result")
+    _add_client_args(p_jr)
+    p_jr.add_argument("--job-id", required=True)
+    p_jr.add_argument("--wait", action="store_true",
+                      help="poll until the job settles first")
+    p_jr.set_defaults(func=_cmd_jobs_result)
     return parser
 
 

@@ -12,6 +12,13 @@ filesystem.
 The temp name embeds the pid *and* the thread id: concurrent writers of
 the same path (e.g. two service requests dumping reports) never clobber
 each other's temp file, and the last rename wins atomically.
+
+Append-only files (the job journal) get the sibling discipline
+:class:`AppendLog`: each record is one complete line written in a
+single ``write`` call, flushed and fsynced before the append returns,
+so a crash between appends never leaves a partial record and a
+replayer sees only whole lines (plus at most one torn tail from a
+crash *during* an append, which readers must skip).
 """
 
 from __future__ import annotations
@@ -39,3 +46,83 @@ def atomic_open(path: str | os.PathLike, encoding: str = "utf-8") -> Iterator[IO
         except OSError:
             pass
         raise
+
+
+class AppendLog:
+    """Durable line-append handle (the journal write discipline).
+
+    * :meth:`append` takes one complete line of text (no embedded
+      newlines), writes it with its terminator in a **single**
+      ``write`` call, then flushes and ``os.fsync``\\ s — after it
+      returns, the record survives a process kill;
+    * the file opens lazily in append mode, so constructing the log is
+      free and an existing file is extended, never truncated;
+    * a failure *before* the write (e.g. an injected fault) leaves the
+      file byte-identical; a kill *during* the write can leave at most
+      one torn final line, which :func:`iter_whole_lines` skips.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._handle: IO[str] | None = None
+        self._lock = threading.Lock()
+
+    def append(self, line: str) -> None:
+        if "\n" in line:
+            raise ValueError("journal records must be single lines")
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        state = "open" if self._handle is not None else "closed"
+        return f"AppendLog({self.path!r}, {state})"
+
+
+def iter_whole_lines(path: str | os.PathLike) -> Iterator[str]:
+    """The complete lines of an append log (a missing file yields none).
+
+    A file killed mid-append may end in a torn line with no trailing
+    newline; that tail is not a durable record and is skipped.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for line in text.splitlines(keepends=True):
+        if line.endswith("\n"):
+            yield line[:-1]
+
+
+def truncate_torn_tail(path: str | os.PathLike) -> int:
+    """Drop a torn (newline-less) final line; returns bytes removed.
+
+    Run before re-opening an append log after a crash: without this, the
+    next append would glue onto the torn tail and corrupt a whole line
+    instead of leaving one skippable partial.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data or data.endswith(b"\n"):
+        return 0
+    keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+    removed = len(data) - keep
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return removed

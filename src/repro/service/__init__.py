@@ -15,13 +15,22 @@ Layers (one module each):
 * :mod:`repro.service.protocol` — JSON payload ↔ keys/budgets;
 * :mod:`repro.service.app` — the endpoints (:class:`ServiceApp`) and
   the ``http.server`` adapter;
+* :mod:`repro.service.jobs` — the durable asynchronous
+  :class:`JobManager`: submit/poll jobs with idempotency, retry with
+  backoff, watchdog deadlines, and an NDJSON journal that survives
+  restarts;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
+  retrying client honoring 429 + ``Retry-After`` and 503 backpressure;
 * :mod:`repro.service.server` — :class:`GmarkService` process
-  composition: lifecycle, graceful drain, signals.
+  composition: lifecycle, journal recovery, graceful drain, signals.
 
-Entry point: ``gmark serve`` (see :mod:`repro.cli`).
+Entry points: ``gmark serve`` and ``gmark jobs`` (see
+:mod:`repro.cli`).
 """
 
 from repro.service.app import GraphArtifact, Response, ServiceApp, WorkloadArtifact
+from repro.service.client import JobFailed, ServiceClient, ServiceUnavailable
+from repro.service.jobs import JobManager, JobRecord, job_id_for
 from repro.service.pool import Job, QueueFullError, WorkerPool
 from repro.service.protocol import BadRequest, encode_key
 from repro.service.server import GmarkService, ServiceConfig
@@ -33,11 +42,17 @@ __all__ = [
     "GmarkService",
     "GraphArtifact",
     "Job",
+    "JobFailed",
+    "JobManager",
+    "JobRecord",
     "QueueFullError",
     "Response",
     "ServiceApp",
+    "ServiceClient",
     "ServiceConfig",
+    "ServiceUnavailable",
     "WorkerPool",
     "WorkloadArtifact",
     "encode_key",
+    "job_id_for",
 ]

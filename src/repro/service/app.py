@@ -14,8 +14,20 @@ Endpoints::
     POST /v1/workloads   ensure a generated workload; returns its ref
     POST /v1/evaluate    evaluate a UCRPQ (inline text or workload ref);
                          streams the answers as NDJSON rows
+    POST   /v1/jobs             submit an evaluate payload as a durable job
+    GET    /v1/jobs/{id}        job status (state, attempts, errors)
+    GET    /v1/jobs/{id}/result stored NDJSON result; 404 until ready
+    DELETE /v1/jobs/{id}        cooperative cancel
     GET  /metrics        NDJSON snapshot of the metrics registry
     GET  /healthz        liveness + queue/cache occupancy
+
+The job endpoints are the async half of evaluation (see
+:mod:`repro.service.jobs`): submit validates the payload up front (a
+bad request fails now, not as a failed job), returns 202 with the job
+id, and the evaluation runs on the same worker pool with retry,
+backoff, watchdog, and journal durability.  Status and result polls
+stay readable while the service drains — a restart is exactly when a
+client needs them.
 
 All generation and evaluation runs on the bounded
 :class:`~repro.service.pool.WorkerPool` — handler threads only wait —
@@ -52,6 +64,7 @@ from repro.observability.export import metrics_records, to_ndjson
 from repro.observability.log import get_logger
 from repro.observability.metrics import METRICS, timed_stage
 from repro.queries.workload import Workload
+from repro.service.jobs import JobManager
 from repro.service.pool import QueueFullError, WorkerPool
 from repro.service.protocol import (
     BadRequest,
@@ -73,6 +86,12 @@ _log = get_logger("service")
 #: stealing GIL slices while a worker generates.
 POLL_SECONDS = 0.1
 
+#: ``Retry-After`` hint before any evaluate latency has been observed.
+#: A cold service is about to pay a full generation for whoever got the
+#: last queue slot, so the honest hint is "a few seconds", not the 1s
+#: the degenerate empty-histogram mean used to collapse to.
+COLD_RETRY_AFTER_SECONDS = 5.0
+
 
 @dataclass
 class GraphArtifact:
@@ -81,6 +100,11 @@ class GraphArtifact:
     key: tuple
     session: Session
     graph: LabeledGraph
+
+    @property
+    def nbytes(self) -> int:
+        """Resident footprint charged to the store's byte bound."""
+        return self.graph.nbytes
 
     def describe(self) -> dict:
         stats = self.graph.statistics()
@@ -100,6 +124,13 @@ class WorkloadArtifact:
 
     key: tuple
     workload: Workload
+
+    @property
+    def nbytes(self) -> int:
+        """Rough footprint: the query texts dominate a workload."""
+        return sum(
+            len(generated.query.to_text()) for generated in self.workload
+        )
 
     def describe(self) -> dict:
         return {
@@ -152,10 +183,20 @@ class ServiceApp:
         pool: WorkerPool | None = None,
         *,
         default_timeout: float = 60.0,
+        journal_path: str | None = None,
+        max_retries: int = 3,
+        watchdog_seconds: float | None = None,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.pool = pool if pool is not None else WorkerPool()
         self.default_timeout = default_timeout
+        self.jobs = JobManager(
+            self.pool,
+            self._job_runner,
+            journal_path=journal_path,
+            max_retries=max_retries,
+            watchdog_seconds=watchdog_seconds,
+        )
         self._draining = threading.Event()
 
     # -- lifecycle -----------------------------------------------------
@@ -196,8 +237,15 @@ class ServiceApp:
     # -- pool plumbing -------------------------------------------------
 
     def _retry_after(self) -> float:
-        """Retry-After hint from observed evaluate latency (>= 1s)."""
+        """Retry-After hint from observed evaluate latency (>= 1s).
+
+        Cold start — nothing observed yet — falls back to
+        :data:`COLD_RETRY_AFTER_SECONDS` instead of the empty
+        histogram's degenerate 0.0 mean.
+        """
         histogram = METRICS.histogram("service.request.evaluate.seconds")
+        if histogram.count == 0:
+            return COLD_RETRY_AFTER_SECONDS
         return max(1.0, round(histogram.mean, 1))
 
     def _run_job(
@@ -268,14 +316,18 @@ class ServiceApp:
             raise BadRequest("provide 'query' (UCRPQ text) or 'workload' (ref)")
         return graph_key(payload), query
 
-    def post_evaluate(self, payload: dict, should_cancel=None) -> Response:
-        key, query_text = self._resolve_query(payload)
+    def _check_engine(self, payload: dict) -> str:
         engine = payload.get("engine", "datalog")
         if engine not in ENGINES:
             raise BadRequest(
                 f"unknown engine {engine!r}; available: {sorted(ENGINES)} "
                 f"(aliases: {sorted(ENGINES.aliases())})"
             )
+        return engine
+
+    def post_evaluate(self, payload: dict, should_cancel=None) -> Response:
+        key, query_text = self._resolve_query(payload)
+        engine = self._check_engine(payload)
         token = CancellationToken()
         context = budget_from_payload(payload, self.default_timeout, token)
 
@@ -298,6 +350,84 @@ class ServiceApp:
             METRICS.counter("service.request.partial").inc()
         return Response.ndjson(result.iter_ndjson())
 
+    # -- jobs (the durable submit/poll half of evaluation) -------------
+
+    def _job_runner(self, payload: dict, token: CancellationToken) -> str:
+        """Execute one job attempt: evaluate the payload to NDJSON text.
+
+        Runs on a pool worker under the :class:`JobManager`'s retry
+        policy; the token is the job's, so ``DELETE /v1/jobs/{id}`` and
+        the watchdog stop the evaluation at its next budget yield point.
+        """
+        key, query_text = self._resolve_query(payload)
+        engine = self._check_engine(payload)
+        context = budget_from_payload(payload, self.default_timeout, token)
+        artifact, _ = self._graph_artifact(key)
+        query = artifact.session.query(query_text)
+        result = artifact.session.evaluate(query, engine, budget=context)
+        if not result.complete:
+            METRICS.counter("service.request.partial").inc()
+        return "".join(result.iter_ndjson())
+
+    def post_jobs(self, payload: dict, should_cancel=None) -> Response:
+        """Submit an evaluate payload as a durable job (202 + job id).
+
+        The payload is validated *now* — an unknown scenario, engine, or
+        workload ref is a 4xx at submit time, not a failed job later.
+        Re-submitting an identical payload returns the existing job.
+        """
+        key, _ = self._resolve_query(payload)  # raises BadRequest early
+        self._check_engine(payload)
+        budget_from_payload(payload, self.default_timeout, CancellationToken())
+        if "workload" not in payload:
+            # Normalise so byte-different spellings of the same graph
+            # reference (alias scenario names, explicit default seed)
+            # still deduplicate; the canonical key is what runs anyway.
+            _, scenario, nodes, seed = key
+            payload = {**payload, "scenario": scenario, "nodes": nodes,
+                       "seed": seed}
+        record, created = self.jobs.submit(payload)
+        return Response.json(202 if created else 200, {
+            **record.describe(),
+            "created": created,
+            "location": f"/v1/jobs/{record.job_id}",
+        })
+
+    def get_job(self, job_id: str, payload: dict = None,
+                should_cancel=None) -> Response:
+        record = self.jobs.get(job_id)
+        if record is None:
+            return Response.json(404, {"error": f"unknown job {job_id!r}"})
+        return Response.json(200, record.describe())
+
+    def get_job_result(self, job_id: str, payload: dict = None,
+                       should_cancel=None) -> Response:
+        """The job's stored NDJSON result; 404 (with a hint) until ready."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            return Response.json(404, {"error": f"unknown job {job_id!r}"})
+        if record.state == "succeeded":
+            stream = self.jobs.result_stream(job_id)
+            assert stream is not None
+            return Response.ndjson(stream)
+        if record.state == "failed":
+            return Response.json(500, record.describe())
+        if record.state == "cancelled":
+            return Response.json(410, record.describe())
+        retry_after = max(1, int(round(self._retry_after())))
+        return Response(
+            404,
+            payload={**record.describe(), "error": "result not ready"},
+            headers={"Retry-After": str(retry_after)},
+        )
+
+    def delete_job(self, job_id: str, payload: dict = None,
+                   should_cancel=None) -> Response:
+        record = self.jobs.cancel(job_id)
+        if record is None:
+            return Response.json(404, {"error": f"unknown job {job_id!r}"})
+        return Response.json(200, record.describe())
+
     def get_metrics(self, payload: dict = None, should_cancel=None) -> Response:
         text = to_ndjson(metrics_records(METRICS))
         stream = iter([text + "\n"] if text else [])
@@ -310,6 +440,10 @@ class ServiceApp:
             "queue_depth": self.pool.depth,
             "inflight": self.pool.inflight,
             "cache_entries": len(self.store),
+            "cache_bytes": self.store.total_bytes,
+            "jobs_active": int(
+                METRICS.gauge("service.jobs.active").value
+            ),
         })
 
     # -- dispatch ------------------------------------------------------
@@ -318,6 +452,7 @@ class ServiceApp:
         ("POST", "/v1/graphs"): "graphs",
         ("POST", "/v1/workloads"): "workloads",
         ("POST", "/v1/evaluate"): "evaluate",
+        ("POST", "/v1/jobs"): "jobs",
         ("GET", "/metrics"): "metrics",
         ("GET", "/healthz"): "healthz",
     }
@@ -326,9 +461,35 @@ class ServiceApp:
         "graphs": post_graphs,
         "workloads": post_workloads,
         "evaluate": post_evaluate,
+        "jobs": post_jobs,
         "metrics": get_metrics,
         "healthz": get_healthz,
     }
+
+    #: Dynamic job routes: (method, suffix-after-id) -> (name, endpoint).
+    _JOB_ROUTES = {
+        ("GET", None): ("job_status", get_job),
+        ("DELETE", None): ("job_cancel", delete_job),
+        ("GET", "result"): ("job_result", get_job_result),
+    }
+
+    #: Read-only endpoints that stay available while draining — a
+    #: restarting client's whole recourse is to keep polling its job.
+    _DRAIN_SAFE = frozenset({"metrics", "healthz", "job_status", "job_result"})
+
+    def _route(self, method: str, path: str):
+        """``(name, endpoint, extra_args)`` for a request, or None."""
+        name = self.ROUTES.get((method, path))
+        if name is not None:
+            return name, self._ENDPOINTS[name], ()
+        parts = [part for part in path.split("/") if part]
+        if len(parts) in (3, 4) and parts[:2] == ["v1", "jobs"]:
+            suffix = parts[3] if len(parts) == 4 else None
+            matched = self._JOB_ROUTES.get((method, suffix))
+            if matched is not None:
+                name, endpoint = matched
+                return name, endpoint, (parts[2],)
+        return None
 
     def handle(
         self,
@@ -338,15 +499,15 @@ class ServiceApp:
         should_cancel: Callable[[], bool] | None = None,
     ) -> Response:
         """Route one request; every error becomes a JSON response."""
-        name = self.ROUTES.get((method, path))
-        if name is None:
+        routed = self._route(method, path)
+        if routed is None:
             return Response.json(404, {"error": f"no route {method} {path}"})
-        if self.draining and name not in ("metrics", "healthz"):
+        name, endpoint, extra = routed
+        if self.draining and name not in self._DRAIN_SAFE:
             return Response.json(503, {"error": "service is draining"})
-        endpoint = self._ENDPOINTS[name]
         try:
             with timed_stage(f"service.request.{name}"):
-                return endpoint(self, payload or {}, should_cancel)
+                return endpoint(self, *extra, payload or {}, should_cancel)
         except BadRequest as exc:
             return Response.json(exc.status, {"error": str(exc)})
         except QueueFullError as exc:
@@ -465,6 +626,9 @@ class RequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("DELETE")
 
     # -- logging -------------------------------------------------------
 

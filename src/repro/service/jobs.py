@@ -1,0 +1,595 @@
+"""Durable asynchronous jobs: submit/poll evaluation that survives crashes.
+
+The synchronous ``POST /v1/evaluate`` holds a connection open for the
+whole evaluation — any query longer than a client timeout is lost work,
+and a server crash loses everything in flight.  :class:`JobManager`
+decouples the two halves: a client **submits** an evaluate payload and
+gets a job id back immediately, then **polls** for the result on its
+own schedule.  Jobs move through::
+
+    queued → running → succeeded | failed | cancelled
+
+with the robustness contracts the serving layer needs:
+
+* **idempotency** — the job id is a digest of the canonical payload
+  (plus an optional client ``idempotency_key``), so re-submitting the
+  same evaluation returns the existing job instead of running it twice;
+* **retry with backoff** — *transient* failures (injected faults, fill
+  failures, resource blips) re-queue the job with capped exponential
+  backoff plus jitter, up to ``max_retries``; *terminal* failures
+  (budget aborts, bad requests, capability errors) fail immediately —
+  retrying a deterministic error only burns workers;
+* **watchdog** — an optional per-attempt wall-clock deadline cancels a
+  stuck run through the job's
+  :class:`~repro.execution.budget.CancellationToken` (the same
+  cooperative mechanism a client disconnect uses);
+* **durability** — every submit and settle appends one JSON line to an
+  on-disk NDJSON journal through the
+  :class:`~repro.ioutil.AppendLog` fsync discipline.  A restarted
+  server replays the journal: completed jobs serve their recorded
+  result without re-running, interrupted jobs re-run — evaluation is
+  deterministic under (scenario, nodes, seed, query), so the re-run is
+  byte-identical to what the crashed run would have produced.
+
+Journal semantics by record kind: ``submit`` is transactional (it is
+appended *before* the job exists in memory — if the append fails, the
+submit fails and nothing runs); ``start``/``retry``/``done`` are
+best-effort (a lost settle record only means the job re-runs after a
+restart, which is safe by determinism).  Replay is transactional too:
+records build into fresh state that publishes only when the whole
+journal parsed, so a failed replay leaves an empty manager a retry can
+fill.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from typing import Callable, Iterator
+
+from repro.errors import (
+    ConfigurationError,
+    EngineBudgetExceeded,
+    EngineCapabilityError,
+    ExecutionCancelled,
+    QuerySyntaxError,
+    TranslationError,
+)
+from repro.execution.budget import CancellationToken
+from repro.execution.faults import FAULTS, fault_point
+from repro.ioutil import AppendLog, iter_whole_lines, truncate_torn_tail
+from repro.observability.log import get_logger
+from repro.observability.metrics import METRICS
+from repro.observability.trace import TRACER
+from repro.service.pool import QueueFullError, WorkerPool
+from repro.service.protocol import BadRequest
+
+_log = get_logger("service.jobs")
+
+_FP_APPEND = fault_point("jobs.journal_append")
+_FP_REPLAY = fault_point("jobs.journal_replay")
+
+#: The legal job states (and the journal's ``state`` vocabulary).
+JOB_STATES = ("queued", "running", "succeeded", "failed", "cancelled")
+TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+#: Errors that recur deterministically on re-execution: fail fast.
+TERMINAL_ERRORS = (
+    BadRequest,
+    QuerySyntaxError,
+    TranslationError,
+    EngineCapabilityError,
+    ConfigurationError,
+    EngineBudgetExceeded,
+)
+
+
+def job_id_for(payload: dict) -> str:
+    """Deterministic job id: digest of the canonical payload.
+
+    Two submits of byte-equal payloads (after canonical JSON ordering)
+    collapse onto one job; a client that wants a forced re-run adds a
+    distinct ``idempotency_key`` field, which participates in the
+    digest like any other field.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "j" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float,
+    rng: random.Random | None = None,
+) -> float:
+    """Capped exponential backoff with jitter for retry ``attempt`` (1-based).
+
+    ``base * 2^(attempt-1)`` capped at ``cap``, stretched by up to +25%
+    jitter so retries from many jobs decorrelate instead of thundering
+    back in lockstep.
+    """
+    delay = min(cap, base * (2 ** max(0, attempt - 1)))
+    jitter = (rng.random() if rng is not None else random.random()) * 0.25
+    return delay * (1.0 + jitter)
+
+
+class JobRecord:
+    """One tracked job: payload, state machine, attempts, and result."""
+
+    __slots__ = (
+        "job_id", "payload", "state", "attempts", "max_retries",
+        "created_at", "updated_at", "error", "error_kind", "result_text",
+        "token", "done", "recovered", "watchdog_fired",
+    )
+
+    def __init__(self, job_id: str, payload: dict, max_retries: int):
+        self.job_id = job_id
+        self.payload = payload
+        self.state = "queued"
+        self.attempts = 0
+        self.max_retries = max_retries
+        self.created_at = time.time()
+        self.updated_at = self.created_at
+        self.error: str | None = None
+        self.error_kind: str | None = None
+        self.result_text: str | None = None
+        self.token = CancellationToken()
+        self.done = threading.Event()
+        self.recovered = False
+        self.watchdog_fired = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def describe(self) -> dict:
+        """The status JSON the ``GET /v1/jobs/{id}`` endpoint returns."""
+        info = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "recovered": self.recovered,
+        }
+        if self.error is not None:
+            info["error"] = self.error
+            info["error_kind"] = self.error_kind
+        if self.state == "succeeded" and self.result_text is not None:
+            # The first journal line of the stored result is its header.
+            header = json.loads(self.result_text.split("\n", 1)[0])
+            info["rows"] = header.get("rows")
+            info["complete"] = header.get("complete")
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"JobRecord({self.job_id}, {self.state}, "
+            f"attempts={self.attempts})"
+        )
+
+
+class JobJournal:
+    """NDJSON journal of job submits and settlements.
+
+    One JSON object per line through :class:`~repro.ioutil.AppendLog`
+    (single-write + flush + fsync — no partial lines from a fault, at
+    most one torn tail from a kill, truncated before re-appending).
+    ``jobs.journal_append`` / ``jobs.journal_replay`` are the chaos
+    suite's injection points.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._log = AppendLog(path)
+
+    def append(self, record: dict) -> None:
+        FAULTS.hit(_FP_APPEND)
+        self._log.append(json.dumps(record, sort_keys=True))
+
+    def replay(self) -> list[dict]:
+        """All whole-line records, oldest first; torn tail truncated.
+
+        Skips (and counts into ``service.jobs.journal_skipped``) any
+        line that is not valid JSON — a journal damaged beyond the one
+        torn tail degrades to losing those records, never to refusing
+        to start.
+        """
+        dropped = truncate_torn_tail(self.path)
+        if dropped:
+            _log.warning(
+                "journal %s: truncated %d-byte torn tail", self.path, dropped
+            )
+        records = []
+        for line in iter_whole_lines(self.path):
+            FAULTS.hit(_FP_REPLAY)
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                METRICS.counter("service.jobs.journal_skipped").inc()
+                _log.warning("journal %s: skipping malformed line", self.path)
+        return records
+
+    def close(self) -> None:
+        self._log.close()
+
+
+class JobManager:
+    """The job state machine over a :class:`~repro.service.pool.WorkerPool`.
+
+    ``runner(payload, token)`` is the execution callback (the service
+    app's evaluate-to-NDJSON closure); it must honour the token's
+    cooperative cancellation and return the full result text.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        runner: Callable[[dict, CancellationToken], str],
+        *,
+        journal_path: str | None = None,
+        max_retries: int = 3,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+        watchdog_seconds: float | None = None,
+        max_jobs: int = 1024,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.pool = pool
+        self.runner = runner
+        self.journal = JobJournal(journal_path) if journal_path else None
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.watchdog_seconds = watchdog_seconds
+        self.max_jobs = max_jobs
+        self._jobs: dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._timers: set[threading.Timer] = set()
+        self._stopped = False
+
+    # -- state transitions ---------------------------------------------
+
+    def _transition(self, record: JobRecord, state: str, journal: bool = True,
+                    **extra) -> None:
+        """Move ``record`` to ``state``: metrics, span, journal, event."""
+        previous = record.state
+        record.state = state
+        record.updated_at = time.time()
+        METRICS.counter(f"service.jobs.{state}").inc()
+        METRICS.gauge("service.jobs.active").set(
+            sum(1 for job in self._jobs.values() if not job.terminal)
+        )
+        with TRACER.span(
+            "service.jobs.transition",
+            job=record.job_id, from_state=previous, to_state=state,
+        ):
+            pass
+        _log.info("job %s: %s -> %s", record.job_id, previous, state)
+        if journal and self.journal is not None:
+            entry = {"record": "state", "job": record.job_id, "state": state,
+                     "attempt": record.attempts, **extra}
+            if state in TERMINAL_STATES:
+                entry["record"] = "done"
+                entry["error"] = record.error
+                entry["error_kind"] = record.error_kind
+                if state == "succeeded":
+                    entry["result"] = record.result_text
+            try:
+                self.journal.append(entry)
+            except Exception:  # noqa: BLE001 — durability is best-effort here
+                # A lost settle record only means this job re-runs after
+                # a restart; determinism makes that safe.  Losing the
+                # *server* over a full disk would not be.
+                METRICS.counter("service.jobs.journal_errors").inc()
+                _log.exception("journal append failed for job %s", record.job_id)
+        if record.terminal:
+            record.done.set()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, payload: dict) -> tuple[JobRecord, bool]:
+        """Track ``payload`` as a job; returns ``(record, created)``.
+
+        Re-submitting an identical payload returns the existing job
+        (``created=False``) whatever its state — a succeeded job serves
+        its stored result, a failed one reports its error.  The submit
+        journal append happens *before* the job becomes visible, so a
+        journal failure fails the submit and leaves nothing behind.
+        """
+        job_id = job_id_for(payload)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                METRICS.counter("service.jobs.deduplicated").inc()
+                return existing, False
+            if self._stopped:
+                raise RuntimeError("job manager is stopped")
+            active = sum(1 for job in self._jobs.values() if not job.terminal)
+            if active >= self.max_jobs:
+                raise QueueFullError(active, retry_after_seconds=5.0)
+            if self.journal is not None:
+                self.journal.append({
+                    "record": "submit", "job": job_id, "payload": payload,
+                })
+            record = JobRecord(job_id, payload, self.max_retries)
+            self._jobs[job_id] = record
+            METRICS.counter("service.jobs.submitted").inc()
+            METRICS.gauge("service.jobs.active").set(
+                sum(1 for job in self._jobs.values() if not job.terminal)
+            )
+        _log.info("job %s: submitted", job_id)
+        self._dispatch(record)
+        return record, True
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> JobRecord | None:
+        """Cooperatively cancel: queued jobs settle now, running jobs at
+        their next budget yield point; terminal jobs are left alone."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            if record.terminal:
+                return record
+            record.token.cancel("cancelled by client")
+            if record.state == "queued":
+                # The pool worker (or a pending retry timer) will see the
+                # cancelled token and skip; settle the record now.
+                record.error = "cancelled by client"
+                record.error_kind = "cancelled"
+                self._transition(record, "cancelled")
+                return record
+        _log.info("job %s: cancellation requested (running)", job_id)
+        return record
+
+    # -- result serving -------------------------------------------------
+
+    def result_stream(self, job_id: str, chunk_chars: int = 1 << 16
+                      ) -> Iterator[str] | None:
+        """The stored NDJSON result in bounded chunks (None if not ready)."""
+        record = self.get(job_id)
+        if record is None or record.state != "succeeded":
+            return None
+        text = record.result_text or ""
+
+        def chunks() -> Iterator[str]:
+            for start in range(0, len(text), chunk_chars):
+                yield text[start:start + chunk_chars]
+
+        return chunks()
+
+    # -- execution ------------------------------------------------------
+
+    def _dispatch(self, record: JobRecord) -> None:
+        """Hand the job to the pool; queue-full re-schedules with backoff.
+
+        The jobs layer *absorbs* pool backpressure instead of surfacing
+        it — the whole point of submit/poll is that the client is not
+        holding a connection that needs an immediate 429.
+        """
+        with self._lock:
+            if self._stopped or record.terminal:
+                return
+        try:
+            self.pool.submit(lambda: self._execute(record), token=record.token)
+        except QueueFullError:
+            METRICS.counter("service.jobs.requeued").inc()
+            delay = backoff_delay(
+                record.attempts + 1, self.backoff_base, self.backoff_cap
+            )
+            _log.info("job %s: pool full, re-dispatch in %.2fs",
+                      record.job_id, delay)
+            self._schedule(delay, lambda: self._dispatch(record))
+        except RuntimeError:
+            # Pool shut down under us (server stopping): leave the job
+            # queued — the journal recovers it on the next boot.
+            _log.info("job %s: pool stopped, left queued for recovery",
+                      record.job_id)
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        timer = threading.Timer(delay, self._run_scheduled, args=(fn,))
+        timer.daemon = True
+        with self._lock:
+            if self._stopped:
+                return
+            self._timers.add(timer)
+            timer.start()
+
+    def _run_scheduled(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            self._timers = {t for t in self._timers if t.is_alive()}
+        fn()
+
+    def _execute(self, record: JobRecord) -> None:
+        """One attempt on a pool worker: run, settle, or schedule a retry."""
+        with self._lock:
+            if record.state != "queued":
+                return  # cancelled (or otherwise settled) while queued
+            if record.token.cancelled:
+                record.error = record.token.reason or "cancelled"
+                record.error_kind = "cancelled"
+                self._transition(record, "cancelled")
+                return
+            record.attempts += 1
+            self._transition(record, "running")
+        watchdog: threading.Timer | None = None
+        if self.watchdog_seconds is not None:
+            watchdog = threading.Timer(
+                self.watchdog_seconds, self._fire_watchdog, args=(record,)
+            )
+            watchdog.daemon = True
+            watchdog.start()
+        try:
+            started = time.perf_counter()
+            text = self.runner(record.payload, record.token)
+            METRICS.histogram("service.jobs.run.seconds").observe(
+                time.perf_counter() - started
+            )
+        except ExecutionCancelled as exc:
+            self._settle_cancelled(record, exc)
+        except TERMINAL_ERRORS as exc:
+            self._settle_failed(record, exc)
+        except Exception as exc:  # noqa: BLE001 — transient by default
+            self._settle_transient(record, exc)
+        else:
+            with self._lock:
+                record.result_text = text
+                record.error = None
+                record.error_kind = None
+                self._transition(record, "succeeded")
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+
+    def _fire_watchdog(self, record: JobRecord) -> None:
+        if record.terminal:
+            return
+        record.watchdog_fired = True
+        METRICS.counter("service.jobs.watchdog_fired").inc()
+        _log.warning("job %s: watchdog deadline (%.1fs) exceeded",
+                     record.job_id, self.watchdog_seconds or 0.0)
+        record.token.cancel(
+            f"watchdog deadline of {self.watchdog_seconds}s exceeded"
+        )
+
+    def _settle_cancelled(self, record: JobRecord, exc: BaseException) -> None:
+        with self._lock:
+            record.error = str(exc)
+            if record.watchdog_fired:
+                # A watchdog kill is the job's fault, not the client's:
+                # surface it as a failure, and don't retry — the next
+                # attempt would hit the same deadline.
+                record.error_kind = "watchdog"
+                self._transition(record, "failed")
+            else:
+                record.error_kind = "cancelled"
+                self._transition(record, "cancelled")
+
+    def _settle_failed(self, record: JobRecord, exc: BaseException) -> None:
+        with self._lock:
+            record.error = str(exc)
+            record.error_kind = type(exc).__name__
+            self._transition(record, "failed")
+
+    def _settle_transient(self, record: JobRecord, exc: BaseException) -> None:
+        with self._lock:
+            record.error = str(exc)
+            record.error_kind = type(exc).__name__
+            if record.attempts > record.max_retries:
+                _log.warning("job %s: retries exhausted after %d attempts",
+                             record.job_id, record.attempts)
+                self._transition(record, "failed")
+                return
+            delay = backoff_delay(
+                record.attempts, self.backoff_base, self.backoff_cap
+            )
+            METRICS.counter("service.jobs.retried").inc()
+            self._transition(record, "queued", delay=round(delay, 3),
+                             error=str(exc))
+            _log.info("job %s: transient %s, retry %d/%d in %.2fs",
+                      record.job_id, type(exc).__name__, record.attempts,
+                      record.max_retries, delay)
+        self._schedule(delay, lambda: self._dispatch(record))
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the journal; returns how many jobs were re-enqueued.
+
+        Completed jobs come back terminal with their recorded result —
+        they are served from the journal, never re-run.  Jobs that were
+        queued or running at the crash re-enter the queue with a fresh
+        retry budget; determinism makes the re-run byte-identical.
+        Replay is transactional: state publishes only after the whole
+        journal parsed, so a failed replay leaves the manager empty.
+        """
+        if self.journal is None:
+            return 0
+        records = self.journal.replay()
+        jobs: dict[str, JobRecord] = {}
+        for entry in records:
+            kind = entry.get("record")
+            job_id = entry.get("job")
+            if kind == "submit" and isinstance(job_id, str):
+                if job_id not in jobs:
+                    record = JobRecord(
+                        job_id, entry.get("payload") or {}, self.max_retries
+                    )
+                    record.recovered = True
+                    jobs[job_id] = record
+            elif kind in ("state", "done") and job_id in jobs:
+                record = jobs[job_id]
+                state = entry.get("state")
+                attempt = entry.get("attempt")
+                if isinstance(attempt, int):
+                    record.attempts = max(record.attempts, attempt)
+                if kind == "done" and state in TERMINAL_STATES:
+                    record.state = state
+                    record.error = entry.get("error")
+                    record.error_kind = entry.get("error_kind")
+                    if state == "succeeded":
+                        record.result_text = entry.get("result")
+                    record.done.set()
+        pending = []
+        with self._lock:
+            for job_id, record in jobs.items():
+                if job_id in self._jobs:
+                    continue  # live state wins over the journal
+                if not record.terminal:
+                    # Interrupted mid-run (or never started): requeue
+                    # with a fresh attempt budget for the new process.
+                    record.state = "queued"
+                    record.attempts = 0
+                    pending.append(record)
+                self._jobs[job_id] = record
+        for record in pending:
+            METRICS.counter("service.jobs.recovered").inc()
+            _log.info("job %s: recovered from journal, re-queued",
+                      record.job_id)
+            self._dispatch(record)
+        if jobs:
+            _log.info(
+                "journal replay: %d jobs (%d re-queued, %d already terminal)",
+                len(jobs), len(pending), len(jobs) - len(pending),
+            )
+        return len(pending)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop dispatching: cancel pending retry timers, refuse submits.
+
+        Running attempts are left to finish (the pool's drain owns
+        them); jobs parked behind a cancelled timer stay ``queued`` and
+        recover from the journal on the next boot.
+        """
+        with self._lock:
+            self._stopped = True
+            timers, self._timers = self._timers, set()
+        for timer in timers:
+            timer.cancel()
+
+    def close(self) -> None:
+        """Close the journal handle (call after the pool has drained)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            states: dict[str, int] = {}
+            for record in self._jobs.values():
+                states[record.state] = states.get(record.state, 0) + 1
+        return f"JobManager({states or 'empty'})"

@@ -48,6 +48,10 @@ class ServiceConfig:
     max_queue: int = 16
     default_timeout: float = 60.0
     cache_capacity: int = 8
+    cache_bytes: int | None = None
+    journal_path: str | None = None
+    max_retries: int = 3
+    watchdog_seconds: float | None = None
 
 
 class _Server(ThreadingHTTPServer):
@@ -62,12 +66,19 @@ class GmarkService:
 
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
-        self.store = ArtifactStore(capacity=self.config.cache_capacity)
+        self.store = ArtifactStore(
+            capacity=self.config.cache_capacity,
+            max_bytes=self.config.cache_bytes,
+        )
         self.pool = WorkerPool(
             workers=self.config.workers, max_queue=self.config.max_queue
         )
         self.app = ServiceApp(
-            self.store, self.pool, default_timeout=self.config.default_timeout
+            self.store, self.pool,
+            default_timeout=self.config.default_timeout,
+            journal_path=self.config.journal_path,
+            max_retries=self.config.max_retries,
+            watchdog_seconds=self.config.watchdog_seconds,
         )
         self._httpd: _Server | None = None
         self._thread: threading.Thread | None = None
@@ -101,10 +112,16 @@ class GmarkService:
             daemon=True,
         )
         self._thread.start()
+        # Replay the journal *after* the pool is live so recovered jobs
+        # re-dispatch immediately; clients polling across the restart
+        # see their jobs back in ``queued``/``running`` right away.
+        recovered = self.app.jobs.recover()
+        if recovered:
+            _log.info("recovered %d job(s) from journal", recovered)
         _log.info(
-            "serving on %s (workers=%d, queue=%d, cache=%d)",
+            "serving on %s (workers=%d, queue=%d, cache=%d, journal=%s)",
             self.address, self.config.workers, self.config.max_queue,
-            self.config.cache_capacity,
+            self.config.cache_capacity, self.config.journal_path,
         )
         return self
 
@@ -124,7 +141,13 @@ class GmarkService:
             if self._thread is not None:
                 self._thread.join()
             self._httpd.server_close()
+        # Stop job retry/redispatch timers before draining the pool, so
+        # the drain is finite; attempts still in flight settle and
+        # journal their outcomes, anything unfinished recovers on the
+        # next start.  Close the journal handle only after the drain.
+        self.app.jobs.stop()
         self.pool.shutdown(drain=drain)
+        self.app.jobs.close()
         for handler in logging.getLogger(ROOT_LOGGER).handlers:
             try:
                 handler.flush()

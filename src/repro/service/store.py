@@ -12,14 +12,19 @@ it.  :class:`ArtifactStore` provides that guarantee generically:
   entry behind, and the next waiter retries as the new leader — the
   same transactional fill-after-success discipline as the
   :class:`~repro.session.Session` stage caches;
-* **LRU bound** — at most ``capacity`` artifacts stay live; touching an
-  entry refreshes it, and inserts evict the least-recently-used entry
-  (``service.cache.evicted``).  Generated graphs are the dominant
-  memory consumer of a long-lived process, so the bound is what lets
-  the service stay up for days;
+* **LRU bound** — at most ``capacity`` artifacts stay live, and when
+  ``max_bytes`` is set the *resident bytes* are bounded too: each
+  artifact reports its footprint via an ``nbytes`` attribute, and
+  inserts evict least-recently-used entries until both bounds hold
+  (``service.cache.evicted``).  A 50k-node graph and a 10-query
+  workload are wildly different sizes, so counting entries alone lets
+  a handful of big graphs blow the heap — the byte bound is what lets
+  the service stay up for days.  The newest entry is never evicted,
+  even when it alone exceeds ``max_bytes``: the fill already paid for
+  it and someone is holding it;
 * **metrics** — every lookup lands in ``service.cache.hit`` /
-  ``service.cache.miss``; the gauge ``service.cache.entries`` tracks
-  occupancy for the ``/metrics`` endpoint.
+  ``service.cache.miss``; the gauges ``service.cache.entries`` and
+  ``service.cache.bytes`` track occupancy for ``/metrics``.
 """
 
 from __future__ import annotations
@@ -39,13 +44,40 @@ _log = get_logger("service.store")
 class ArtifactStore:
     """Keyed get-or-create cache: thread-safe, single-flight, LRU-bounded."""
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, max_bytes: int | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._nbytes: dict[Hashable, int] = {}
         self._inflight: dict[Hashable, threading.Event] = {}
+
+    @staticmethod
+    def _footprint(value) -> int:
+        """An artifact's resident size; artifacts without ``nbytes``
+        count as zero (bounded by ``capacity`` alone)."""
+        try:
+            return max(0, int(getattr(value, "nbytes", 0)))
+        except (TypeError, ValueError):
+            return 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Resident bytes across all live artifacts."""
+        with self._lock:
+            return sum(self._nbytes.values())
+
+    def _over_budget(self) -> bool:
+        if len(self._entries) > self.capacity:
+            return True
+        return (
+            self.max_bytes is not None
+            and sum(self._nbytes.values()) > self.max_bytes
+        )
 
     def get_or_create(
         self, key: Hashable, factory: Callable[[], T]
@@ -76,12 +108,20 @@ class ArtifactStore:
             with self._lock:
                 self._entries[key] = value
                 self._entries.move_to_end(key)
-                while len(self._entries) > self.capacity:
+                self._nbytes[key] = self._footprint(value)
+                while len(self._entries) > 1 and self._over_budget():
                     evicted, _ = self._entries.popitem(last=False)
+                    freed = self._nbytes.pop(evicted, 0)
                     METRICS.counter("service.cache.evicted").inc()
-                    _log.info("evicted artifact %r (capacity %d)",
-                              evicted, self.capacity)
+                    _log.info(
+                        "evicted artifact %r (%d bytes; capacity %d, "
+                        "max_bytes %s)",
+                        evicted, freed, self.capacity, self.max_bytes,
+                    )
                 METRICS.gauge("service.cache.entries").set(len(self._entries))
+                METRICS.gauge("service.cache.bytes").set(
+                    sum(self._nbytes.values())
+                )
         finally:
             with self._lock:
                 del self._inflight[key]
@@ -101,7 +141,9 @@ class ArtifactStore:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._nbytes.clear()
             METRICS.gauge("service.cache.entries").set(0)
+            METRICS.gauge("service.cache.bytes").set(0)
 
     def __len__(self) -> int:
         with self._lock:

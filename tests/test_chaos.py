@@ -13,16 +13,27 @@ asserts the hardened-execution invariants:
   exactly the Nth hit), and its results are byte-equal to a fault-free
   run — failure is transient, not corrupting;
 * the injector is **disarmed by default** and a disarmed hit costs one
-  ``None`` check (the benchmark no-op probe pins the same thing).
+  ``None`` check (the benchmark no-op probe pins the same thing);
+* the **job journal** (PR 10) holds its durability contract under
+  faults at the append and replay points: an append fault never leaves
+  a partial line, a lost settle record degrades to a safe re-run (never
+  a duplicate or divergent result), and a replay fault leaves an empty
+  manager whose in-window retry recovers identically.
 """
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
+import repro.service.jobs  # noqa: F401 — registers the journal fault points
 from repro.columnar import PairStore
 from repro.execution.faults import FAULT_ERRORS, FAULTS, InjectedFault
+from repro.observability.metrics import METRICS
+from repro.service.jobs import JobManager
+from repro.service.pool import WorkerPool
 from repro.session import Session
 
 QUERY_JOIN = "(?x, ?y) <- (?x, authors, ?z), (?z, publishedIn, ?y)"
@@ -36,6 +47,8 @@ EXPECTED_POINTS = {
     "columnar.flush",
     "frontier.advance",
     "generation.batch",
+    "jobs.journal_append",
+    "jobs.journal_replay",
     "sampler.refill",
     "session.graph_cache",
     "session.workload_cache",
@@ -43,8 +56,12 @@ EXPECTED_POINTS = {
 }
 
 #: Points the sweep pipeline is known to exercise (``columnar.flush``
-#: only fires on the scalar ``add_pair`` path, covered separately).
-PIPELINE_POINTS = sorted(EXPECTED_POINTS - {"columnar.flush"})
+#: only fires on the scalar ``add_pair`` path and the ``jobs.journal_*``
+#: points only inside a journaled JobManager — each covered separately).
+PIPELINE_POINTS = sorted(
+    EXPECTED_POINTS
+    - {"columnar.flush", "jobs.journal_append", "jobs.journal_replay"}
+)
 
 
 def _fresh_session() -> Session:
@@ -256,6 +273,141 @@ class TestSessionCacheConsistency:
                 session.count_distinct(QUERY_STAR, "sparql")
             _assert_consistent(session)
             assert session.count_distinct(QUERY_STAR, "sparql") == expected
+
+
+RESULT_TEXT = (
+    '{"arity": 2, "complete": true, "record": "result", "rows": 1}\n'
+    "[7, 9]\n"
+)
+
+
+def _journaled_manager(tmp_path, runner=None):
+    pool = WorkerPool(workers=1, max_queue=4)
+    manager = JobManager(
+        pool,
+        runner or (lambda payload, token: RESULT_TEXT),
+        journal_path=str(tmp_path / "jobs.ndjson"),
+        backoff_base=0.01, backoff_cap=0.05,
+    )
+    return manager, pool
+
+
+def _journal_lines(tmp_path) -> list[dict]:
+    """Every journal line, asserting each is a whole JSON record."""
+    path = tmp_path / "jobs.ndjson"
+    if not path.exists():
+        return []
+    raw = path.read_bytes()
+    assert raw == b"" or raw.endswith(b"\n"), "journal ends in a partial line"
+    return [json.loads(line) for line in raw.decode().splitlines() if line]
+
+
+class TestJobJournalChaos:
+    def test_append_fault_at_submit_is_transactional(self, tmp_path):
+        """A failed submit append fails the submit and leaves nothing —
+        no in-memory job, no partial journal line; the in-window retry
+        lands the same job."""
+        manager, pool = _journaled_manager(tmp_path)
+        try:
+            with FAULTS.inject("jobs.journal_append", InjectedFault, nth=1):
+                with pytest.raises(InjectedFault):
+                    manager.submit({"q": 1})
+                assert manager.jobs() == []
+                assert _journal_lines(tmp_path) == []
+                record, created = manager.submit({"q": 1})  # hit 2: passes
+                assert created and record.done.wait(5.0)
+                assert record.state == "succeeded"
+            kinds = [entry["record"] for entry in _journal_lines(tmp_path)]
+            assert kinds[0] == "submit" and kinds[-1] == "done"
+        finally:
+            manager.stop(), pool.shutdown(), manager.close()
+
+    def test_lost_settle_record_degrades_to_a_safe_rerun(self, tmp_path):
+        """A fault on the ``done`` append is absorbed (the live job still
+        succeeds); after a restart the job re-runs to the identical
+        result instead of serving a stale or duplicate one."""
+        manager, pool = _journaled_manager(tmp_path)
+        errors = METRICS.counter("service.jobs.journal_errors")
+        before = errors.value
+        # Appends for one clean job: submit, state(running), done.
+        with FAULTS.inject("jobs.journal_append", InjectedFault, nth=3):
+            record, _ = manager.submit({"q": 1})
+            assert record.done.wait(5.0)
+            assert record.state == "succeeded"  # best-effort: not failed
+        assert errors.value == before + 1
+        entries = _journal_lines(tmp_path)
+        assert [e["record"] for e in entries] == ["submit", "state"]
+        manager.stop(), pool.shutdown(), manager.close()
+
+        calls: list[int] = []
+
+        def runner(payload, token):
+            calls.append(1)
+            return RESULT_TEXT
+
+        revived, pool2 = _journaled_manager(tmp_path, runner)
+        try:
+            assert revived.recover() == 1  # no done record: re-queued
+            replayed = revived.get(record.job_id)
+            assert replayed.done.wait(5.0)
+            assert calls == [1]  # exactly one re-run, no duplicates
+            assert "".join(
+                revived.result_stream(record.job_id)
+            ) == RESULT_TEXT
+        finally:
+            revived.stop(), pool2.shutdown(), revived.close()
+
+    def test_replay_fault_leaves_empty_manager_then_recovers(self, tmp_path):
+        manager, pool = _journaled_manager(tmp_path)
+        record, _ = manager.submit({"q": 1})
+        assert record.done.wait(5.0)
+        manager.stop(), pool.shutdown(), manager.close()
+
+        calls: list[int] = []
+
+        def runner(payload, token):
+            calls.append(1)
+            return RESULT_TEXT
+
+        revived, pool2 = _journaled_manager(tmp_path, runner)
+        try:
+            with FAULTS.inject("jobs.journal_replay", InjectedFault, nth=1):
+                with pytest.raises(InjectedFault):
+                    revived.recover()
+                assert revived.jobs() == []  # transactional: nothing partial
+                assert revived.recover() == 0  # in-window retry replays all
+            replayed = revived.get(record.job_id)
+            assert replayed.state == "succeeded" and replayed.recovered
+            assert calls == []  # completed job served, never re-run
+            assert "".join(
+                revived.result_stream(record.job_id)
+            ) == RESULT_TEXT
+        finally:
+            revived.stop(), pool2.shutdown(), revived.close()
+
+    def test_seeded_journal_chaos_round_trip(self, tmp_path):
+        """Whatever a seeded plan does to the journal points, a journaled
+        submit→settle→recover loop either fails cleanly or converges to
+        the same result — and the journal never holds a partial line."""
+        for seed in range(4):
+            directory = tmp_path / f"seed{seed}"
+            directory.mkdir()
+            manager, pool = _journaled_manager(directory)
+            try:
+                with FAULTS.inject_seeded(seed) as plan:
+                    if not plan.point.startswith("jobs."):
+                        continue  # this seed targets another subsystem
+                    try:
+                        record, _ = manager.submit({"q": seed})
+                        assert record.done.wait(5.0)
+                    except FAULT_ERRORS:
+                        pass
+                    _journal_lines(directory)  # whole lines, always
+                    record, _ = manager.submit({"q": seed})
+                    assert record.done.wait(5.0)
+                    assert record.state == "succeeded"
+            finally:
+                manager.stop(), pool.shutdown(), manager.close()
 
 
 class TestNestedInjection:

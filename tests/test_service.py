@@ -13,13 +13,23 @@ Two layers, mirroring the service's own design:
   counters), NDJSON streaming, the budget-partial (200 + incomplete)
   and raise-mode (503 + abort body) paths, queue-full 429 with
   ``Retry-After``, a chaos case asserting clean caches after a failed
-  fill, and graceful-drain semantics.
+  fill, and graceful-drain semantics;
+* the **jobs layer** (PR 10): :class:`~repro.service.jobs.JobManager`
+  lifecycle/idempotency/retry/watchdog units, journal replay recovery
+  (interrupted jobs re-run byte-identically, completed jobs served
+  without re-running), the retrying :class:`ServiceClient`, the job
+  HTTP endpoints, and a real SIGKILL + restart of a ``gmark serve``
+  subprocess proving end-to-end crash recovery.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
+import signal
+import subprocess
+import sys
 import threading
 import time
 
@@ -34,12 +44,18 @@ from repro.service import (
     ArtifactStore,
     BadRequest,
     GmarkService,
+    JobFailed,
+    JobManager,
     QueueFullError,
     ServiceApp,
+    ServiceClient,
     ServiceConfig,
     WorkerPool,
     encode_key,
+    job_id_for,
 )
+from repro.service.app import COLD_RETRY_AFTER_SECONDS
+from repro.service.jobs import backoff_delay
 from repro.service.protocol import (
     budget_from_payload,
     decode_workload_key,
@@ -623,8 +639,6 @@ class TestGracefulDrain:
             _request(port, "GET", "/healthz", timeout=2.0)
 
     def test_sigterm_handler_only_sets_the_event(self):
-        import signal
-
         service = GmarkService(ServiceConfig(port=0, workers=1, max_queue=2))
         stop = threading.Event()
         previous_term = signal.getsignal(signal.SIGTERM)
@@ -637,3 +651,721 @@ class TestGracefulDrain:
             signal.signal(signal.SIGTERM, previous_term)
             signal.signal(signal.SIGINT, previous_int)
             service.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore byte accounting (PR 10 satellite)
+# ---------------------------------------------------------------------------
+
+
+class _Sized:
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+
+
+class TestStoreByteAccounting:
+    def test_max_bytes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(capacity=2, max_bytes=0)
+
+    def test_evicts_by_resident_bytes_not_entry_count(self):
+        store = ArtifactStore(capacity=10, max_bytes=100)
+        store.get_or_create("a", lambda: _Sized(60))
+        store.get_or_create("b", lambda: _Sized(30))
+        assert store.total_bytes == 90
+        store.get_or_create("c", lambda: _Sized(30))  # 120 > 100: evict "a"
+        assert store.keys() == ["b", "c"]
+        assert store.total_bytes == 60
+        assert METRICS.gauge("service.cache.bytes").value == 60
+
+    def test_newest_entry_survives_even_when_oversize(self):
+        store = ArtifactStore(capacity=10, max_bytes=50)
+        store.get_or_create("small", lambda: _Sized(10))
+        store.get_or_create("huge", lambda: _Sized(500))
+        # The fill already paid for "huge" and the caller holds it: it
+        # stays (alone), instead of an eviction loop emptying the store.
+        assert store.keys() == ["huge"]
+        assert store.total_bytes == 500
+
+    def test_unsized_artifacts_count_zero_bytes(self):
+        store = ArtifactStore(capacity=2, max_bytes=10)
+        store.get_or_create("a", lambda: object())
+        store.get_or_create("b", lambda: object())
+        assert store.total_bytes == 0
+        assert len(store) == 2  # capacity still bounds entry count
+
+    def test_clear_zeroes_bytes(self):
+        store = ArtifactStore(capacity=4, max_bytes=100)
+        store.get_or_create("a", lambda: _Sized(40))
+        store.clear()
+        assert store.total_bytes == 0
+        assert METRICS.gauge("service.cache.bytes").value == 0
+
+    def test_graph_artifacts_report_real_footprints(self):
+        app = ServiceApp(ArtifactStore(capacity=2), WorkerPool(1, 2))
+        try:
+            artifact, _ = app._graph_artifact(("graph", "bib", 200, 1))
+            assert artifact.nbytes == artifact.graph.nbytes > 0
+            assert app.store.total_bytes >= artifact.nbytes
+        finally:
+            app.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Cold-start Retry-After (PR 10 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestColdRetryAfter:
+    def test_cold_histogram_falls_back_to_default(self):
+        app = ServiceApp(ArtifactStore(capacity=2), WorkerPool(1, 2))
+        histogram = METRICS.histogram("service.request.evaluate.seconds")
+        try:
+            histogram.reset()
+            assert app._retry_after() == COLD_RETRY_AFTER_SECONDS
+            histogram.observe(7.3)
+            assert app._retry_after() == 7.3
+            histogram.observe(0.001)  # mean collapses; floor holds
+            assert app._retry_after() >= 1.0
+        finally:
+            histogram.reset()
+            app.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# JobManager units (socket-free)
+# ---------------------------------------------------------------------------
+
+
+RESULT_TEXT = (
+    '{"arity": 2, "complete": true, "record": "result", "rows": 1}\n'
+    "[1, 2]\n"
+)
+
+
+def _manager(runner, tmp_path=None, **kwargs):
+    pool = WorkerPool(workers=2, max_queue=8)
+    journal = str(tmp_path / "jobs.ndjson") if tmp_path is not None else None
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_cap", 0.05)
+    manager = JobManager(pool, runner, journal_path=journal, **kwargs)
+    return manager, pool
+
+
+class TestJobIdAndBackoff:
+    def test_job_id_is_canonical_and_order_insensitive(self):
+        a = job_id_for({"scenario": "bib", "nodes": 10})
+        b = job_id_for({"nodes": 10, "scenario": "bib"})
+        assert a == b and a.startswith("j") and len(a) == 17
+
+    def test_idempotency_key_forces_a_distinct_job(self):
+        base = {"scenario": "bib", "nodes": 10}
+        assert job_id_for(base) != job_id_for(
+            {**base, "idempotency_key": "run-2"}
+        )
+
+    def test_backoff_is_capped_exponential_with_bounded_jitter(self):
+        import random as _random
+
+        rng = _random.Random(0)
+        delays = [backoff_delay(n, 0.25, 5.0, rng) for n in range(1, 10)]
+        for attempt, delay in enumerate(delays, start=1):
+            floor = min(5.0, 0.25 * 2 ** (attempt - 1))
+            assert floor <= delay <= floor * 1.25
+        assert max(delays) <= 5.0 * 1.25  # cap holds under jitter
+
+
+class TestJobManager:
+    def test_lifecycle_success(self):
+        manager, pool = _manager(lambda payload, token: RESULT_TEXT)
+        try:
+            record, created = manager.submit({"q": 1})
+            assert created and record.state in ("queued", "running",
+                                                "succeeded")
+            assert record.done.wait(5.0)
+            assert record.state == "succeeded"
+            assert record.attempts == 1
+            assert "".join(manager.result_stream(record.job_id)) == RESULT_TEXT
+            info = record.describe()
+            assert info["state"] == "succeeded" and info["rows"] == 1
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_resubmit_deduplicates_in_any_state(self):
+        calls: list[int] = []
+
+        def runner(payload, token):
+            calls.append(1)
+            return RESULT_TEXT
+
+        manager, pool = _manager(runner)
+        try:
+            first, created_first = manager.submit({"q": 1})
+            assert first.done.wait(5.0)
+            again, created_again = manager.submit({"q": 1})
+            assert created_first and not created_again
+            assert again is first and calls == [1]
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_transient_failure_retries_with_backoff_then_succeeds(self):
+        attempts: list[float] = []
+
+        def runner(payload, token):
+            attempts.append(time.monotonic())
+            if len(attempts) < 3:
+                raise InjectedFault("transient blip")
+            return RESULT_TEXT
+
+        manager, pool = _manager(runner, max_retries=3)
+        retried = METRICS.counter("service.jobs.retried")
+        before = retried.value
+        try:
+            record, _ = manager.submit({"q": "retry"})
+            assert record.done.wait(10.0)
+            assert record.state == "succeeded" and record.attempts == 3
+            assert retried.value == before + 2
+            # Backoff really spaced the attempts (base 0.01, then 0.02).
+            assert attempts[1] - attempts[0] >= 0.01
+            assert attempts[2] - attempts[1] >= 0.02
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_retries_exhausted_fails(self):
+        def runner(payload, token):
+            raise InjectedFault("always down")
+
+        manager, pool = _manager(runner, max_retries=2)
+        try:
+            record, _ = manager.submit({"q": "doomed"})
+            assert record.done.wait(10.0)
+            assert record.state == "failed"
+            assert record.attempts == 3  # initial + 2 retries
+            assert record.error_kind == "InjectedFault"
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_terminal_errors_never_retry(self):
+        calls: list[int] = []
+
+        def runner(payload, token):
+            calls.append(1)
+            raise BadRequest("no such thing")
+
+        manager, pool = _manager(runner, max_retries=5)
+        try:
+            record, _ = manager.submit({"q": "bad"})
+            assert record.done.wait(5.0)
+            assert record.state == "failed" and calls == [1]
+            assert record.error_kind == "BadRequest"
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_cancel_queued_settles_immediately(self):
+        gate = threading.Event()
+        ran: list[int] = []
+        manager, pool = _manager(lambda p, t: ran.append(1) or RESULT_TEXT)
+        try:
+            # Saturate both workers so the next job parks in the queue.
+            blockers = [pool.submit(gate.wait) for _ in range(2)]
+            assert _wait_until(lambda: pool.inflight == 2)
+            record, _ = manager.submit({"q": "parked"})
+            assert record.state == "queued"
+            cancelled = manager.cancel(record.job_id)
+            assert cancelled.state == "cancelled"
+            gate.set()
+            for job in blockers:
+                job.done.wait(5.0)
+            time.sleep(0.05)
+            assert ran == []  # the pool skipped the cancelled token
+        finally:
+            gate.set()
+            manager.stop(), pool.shutdown()
+
+    def test_cancel_running_stops_at_yield_point(self):
+        started = threading.Event()
+
+        def runner(payload, token):
+            started.set()
+            while not token.cancelled:
+                time.sleep(0.002)
+            raise ExecutionCancelled(token.reason)
+
+        manager, pool = _manager(runner)
+        try:
+            record, _ = manager.submit({"q": "slow"})
+            assert started.wait(5.0)
+            manager.cancel(record.job_id)
+            assert record.done.wait(5.0)
+            assert record.state == "cancelled"
+            assert manager.cancel(record.job_id) is record  # terminal no-op
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_watchdog_deadline_fails_without_retry(self):
+        def runner(payload, token):
+            while not token.cancelled:
+                time.sleep(0.002)
+            raise ExecutionCancelled(token.reason)
+
+        manager, pool = _manager(runner, watchdog_seconds=0.05, max_retries=5)
+        fired = METRICS.counter("service.jobs.watchdog_fired")
+        before = fired.value
+        try:
+            record, _ = manager.submit({"q": "stuck"})
+            assert record.done.wait(5.0)
+            assert record.state == "failed"
+            assert record.error_kind == "watchdog"
+            assert record.attempts == 1  # the next attempt would stall too
+            assert fired.value == before + 1
+        finally:
+            manager.stop(), pool.shutdown()
+
+    def test_queue_full_is_absorbed_not_surfaced(self):
+        gate = threading.Event()
+        manager, pool = _manager(lambda p, t: RESULT_TEXT)
+        pool_small = WorkerPool(workers=1, max_queue=1)
+        manager_small = JobManager(
+            pool_small, lambda p, t: RESULT_TEXT,
+            backoff_base=0.01, backoff_cap=0.05,
+        )
+        try:
+            pool_small.submit(gate.wait)
+            assert _wait_until(lambda: pool_small.inflight == 1)
+            pool_small.submit(gate.wait)  # the single queue slot
+            record, created = manager_small.submit({"q": "absorbed"})
+            assert created  # no QueueFullError raised to the submitter
+            gate.set()
+            assert record.done.wait(10.0)  # re-dispatch landed it
+            assert record.state == "succeeded"
+        finally:
+            gate.set()
+            manager_small.stop(), pool_small.shutdown()
+            manager.stop(), pool.shutdown()
+
+
+class TestJobJournalRecovery:
+    def test_journal_records_submit_and_settle(self, tmp_path):
+        manager, pool = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        try:
+            record, _ = manager.submit({"q": 1})
+            assert record.done.wait(5.0)
+        finally:
+            manager.stop(), pool.shutdown(), manager.close()
+        kinds = [json.loads(line)["record"]
+                 for line in open(tmp_path / "jobs.ndjson")]
+        assert kinds[0] == "submit" and kinds[-1] == "done"
+
+    def test_completed_jobs_served_from_journal_without_rerun(self, tmp_path):
+        manager, pool = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        record, _ = manager.submit({"q": 1})
+        assert record.done.wait(5.0)
+        manager.stop(), pool.shutdown(), manager.close()
+
+        calls: list[int] = []
+
+        def runner(payload, token):
+            calls.append(1)
+            return RESULT_TEXT
+
+        revived, pool2 = _manager(runner, tmp_path)
+        try:
+            assert revived.recover() == 0  # nothing to re-queue
+            replayed = revived.get(record.job_id)
+            assert replayed is not None and replayed.state == "succeeded"
+            assert replayed.recovered and calls == []
+            assert "".join(
+                revived.result_stream(record.job_id)
+            ) == RESULT_TEXT
+        finally:
+            revived.stop(), pool2.shutdown(), revived.close()
+
+    def test_interrupted_jobs_rerun_to_identical_results(self, tmp_path):
+        manager, pool = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        record, _ = manager.submit({"q": 1})
+        assert record.done.wait(5.0)
+        manager.stop(), pool.shutdown(), manager.close()
+
+        # Simulate a crash mid-run: drop the settle record and leave a
+        # torn tail from a kill mid-append.
+        journal = tmp_path / "jobs.ndjson"
+        lines = [line for line in open(journal)
+                 if json.loads(line)["record"] != "done"]
+        journal.write_text("".join(lines) + '{"record": "don')
+
+        revived, pool2 = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        recovered = METRICS.counter("service.jobs.recovered")
+        before = recovered.value
+        try:
+            assert revived.recover() == 1
+            assert recovered.value == before + 1
+            replayed = revived.get(record.job_id)
+            assert replayed.done.wait(10.0)
+            assert replayed.state == "succeeded"
+            assert "".join(
+                revived.result_stream(record.job_id)
+            ) == RESULT_TEXT  # byte-identical by determinism
+        finally:
+            revived.stop(), pool2.shutdown(), revived.close()
+
+    def test_live_state_wins_over_journal_on_recover(self, tmp_path):
+        manager, pool = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        try:
+            record, _ = manager.submit({"q": 1})
+            assert record.done.wait(5.0)
+            assert manager.recover() == 0  # replaying our own journal
+            assert manager.get(record.job_id) is record  # not replaced
+        finally:
+            manager.stop(), pool.shutdown(), manager.close()
+
+    def test_malformed_journal_lines_are_skipped_not_fatal(self, tmp_path):
+        journal = tmp_path / "jobs.ndjson"
+        good = {"record": "submit", "job": "jdeadbeefdeadbeef",
+                "payload": {"q": 1}}
+        journal.write_text(json.dumps(good) + "\nnot json at all\n")
+        skipped = METRICS.counter("service.jobs.journal_skipped")
+        before = skipped.value
+        manager, pool = _manager(lambda p, t: RESULT_TEXT, tmp_path)
+        try:
+            assert manager.recover() == 1
+            assert skipped.value == before + 1
+            record = manager.get("jdeadbeefdeadbeef")
+            assert record.done.wait(5.0)
+            assert record.state == "succeeded"
+        finally:
+            manager.stop(), pool.shutdown(), manager.close()
+
+
+# ---------------------------------------------------------------------------
+# ServiceClient retry discipline
+# ---------------------------------------------------------------------------
+
+
+class _ScriptedResponse:
+    """Stands in for ``http.client``'s response object."""
+
+    def __init__(self, status, headers, body):
+        self.status = status
+        self._headers = headers
+        self._body = body
+
+    def read(self):
+        return self._body
+
+    def getheaders(self):
+        return list(self._headers.items())
+
+    def getheader(self, name, default=None):
+        return self._headers.get(name, default)
+
+
+def _scripted_client(script, max_retries=5):
+    """A ServiceClient whose transport plays back ``script``."""
+    sleeps: list[float] = []
+    client = ServiceClient(
+        "127.0.0.1", 1, max_retries=max_retries,
+        backoff_base=0.01, backoff_cap=0.1,
+        sleep=sleeps.append,
+    )
+    steps = list(script)
+    calls: list[tuple] = []
+
+    class _Conn:
+        def request(self, method, path, body=None, headers=None):
+            calls.append((method, path))
+            if isinstance(steps[0], Exception):
+                raise steps.pop(0)
+
+        def getresponse(self):
+            status, headers, body = steps.pop(0)
+            return _ScriptedResponse(status, headers, body)
+
+        def close(self):
+            pass
+
+    client._connection = lambda: _Conn()  # type: ignore[method-assign]
+    return client, sleeps, calls
+
+
+class TestServiceClient:
+    def test_429_retries_and_honors_retry_after(self):
+        client, sleeps, calls = _scripted_client([
+            (429, {"Retry-After": "0.07"}, b'{"error": "queue full"}'),
+            (200, {}, b'{"ok": true}'),
+        ])
+        status, body = client.request_json("GET", "/healthz")
+        assert status == 200 and body == {"ok": True}
+        assert len(calls) == 2
+        assert len(sleeps) == 1
+        assert sleeps[0] >= 0.07  # the server's hint, not just base backoff
+
+    def test_503_retries_with_backoff(self):
+        client, sleeps, calls = _scripted_client([
+            (503, {}, b'{"error": "draining"}'),
+            (503, {}, b'{"error": "draining"}'),
+            (200, {}, b'{"ok": true}'),
+        ])
+        status, _ = client.request_json("GET", "/healthz")
+        assert status == 200 and len(calls) == 3
+        assert sleeps[1] > sleeps[0] * 1.2  # exponential growth past jitter
+
+    def test_connection_errors_reconnect_and_retry(self):
+        client, sleeps, calls = _scripted_client([
+            ConnectionRefusedError("server restarting"),
+            (200, {}, b'{"ok": true}'),
+        ])
+        status, _ = client.request_json("GET", "/healthz")
+        assert status == 200 and len(calls) == 2 and len(sleeps) == 1
+
+    def test_exhausted_retries_raise_service_unavailable(self):
+        from repro.service import ServiceUnavailable
+
+        client, _, calls = _scripted_client(
+            [(503, {}, b"busy")] * 3, max_retries=2
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("GET", "/healthz")
+        assert excinfo.value.status == 503
+        assert len(calls) == 3  # initial + 2 retries
+
+    def test_client_errors_are_not_retried(self):
+        client, sleeps, calls = _scripted_client([
+            (400, {}, b'{"error": "bad"}'),
+        ])
+        status, _ = client.request_json("POST", "/v1/jobs", {"x": 1})
+        assert status == 400 and len(calls) == 1 and sleeps == []
+
+
+# ---------------------------------------------------------------------------
+# Job endpoints end-to-end (live server)
+# ---------------------------------------------------------------------------
+
+
+JOB_QUERY = "(?x, ?y) <- (?x, authors, ?y)"
+
+
+def _job_payload(**extra) -> dict:
+    return {"scenario": "bib", "nodes": NODES, "seed": 41,
+            "query": JOB_QUERY, **extra}
+
+
+class TestJobEndpoints:
+    def test_submit_poll_result_roundtrip(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            job = client.submit_job(_job_payload())
+            assert job["created"] in (True, False)
+            assert job["location"] == f"/v1/jobs/{job['job_id']}"
+            done = client.wait_for_job(job["job_id"], timeout=30.0)
+            assert done["state"] == "succeeded" and done["rows"] > 0
+            status, body = client.job_result(job["job_id"])
+            assert status == 200
+            header = _ndjson(body)[0]
+            assert header["record"] == "result"
+            assert header["rows"] == done["rows"]
+            # The async result matches the synchronous evaluate path.
+            sync_status, sync_body = client.evaluate(_job_payload())
+            assert sync_status == 200 and sync_body == body
+
+    def test_resubmit_returns_existing_job(self, service):
+        payload = _job_payload(idempotency_key="dedup-e2e")
+        with ServiceClient("127.0.0.1", service.port) as client:
+            first = client.submit_job(payload)
+            client.wait_for_job(first["job_id"], timeout=30.0)
+            again = client.submit_job(payload)
+            assert again["job_id"] == first["job_id"]
+            assert again["created"] is False
+            assert again["state"] == "succeeded"
+
+    def test_alias_payload_spellings_deduplicate(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            explicit = client.submit_job(_job_payload())
+            implicit = client.submit_job(
+                {k: v for k, v in _job_payload().items() if k != "seed"}
+                | {"seed": 41}
+            )
+            assert explicit["job_id"] == implicit["job_id"]
+
+    def test_result_is_404_with_retry_after_until_ready(self, service):
+        # A job for a graph that takes a moment to generate.
+        payload = _job_payload(nodes=NODES + 7, idempotency_key="pending")
+        status, _, body = _request(service.port, "POST", "/v1/jobs", payload)
+        assert status == 202
+        job_id = json.loads(body)["job_id"]
+        status, headers, body = _request(
+            service.port, "GET", f"/v1/jobs/{job_id}/result"
+        )
+        if status == 404:  # still generating: the documented contract
+            assert int(headers["Retry-After"]) >= 1
+            assert json.loads(body)["error"] == "result not ready"
+        with ServiceClient("127.0.0.1", service.port) as client:
+            client.wait_for_job(job_id, timeout=30.0)
+        status, _, _ = _request(service.port, "GET",
+                                f"/v1/jobs/{job_id}/result")
+        assert status == 200
+
+    def test_unknown_job_is_404(self, service):
+        for path in ("/v1/jobs/jmissing", "/v1/jobs/jmissing/result"):
+            status, _, _ = _request(service.port, "GET", path)
+            assert status == 404
+        status, _, _ = _request(service.port, "DELETE", "/v1/jobs/jmissing")
+        assert status == 404
+
+    def test_submit_validates_eagerly(self, service):
+        status, _, body = _request(
+            service.port, "POST", "/v1/jobs",
+            {"scenario": "tpch", "nodes": 10, "query": JOB_QUERY},
+        )
+        assert status == 400
+        assert "unknown scenario" in json.loads(body)["error"]
+        status, _, body = _request(service.port, "POST", "/v1/jobs",
+                                   _job_payload(engine="neo4j"))
+        assert status == 400
+        status, _, body = _request(service.port, "POST", "/v1/jobs",
+                                   {"scenario": "bib", "nodes": NODES})
+        assert status == 400  # no query and no workload ref
+
+    def test_syntax_error_is_a_terminal_failed_job(self, service):
+        """Syntax only surfaces at evaluation: one attempt, no retries."""
+        payload = _job_payload(query="(?x ?y) <-",
+                               idempotency_key="bad-syntax")
+        with ServiceClient("127.0.0.1", service.port) as client:
+            job = client.submit_job(payload)
+            with pytest.raises(JobFailed) as excinfo:
+                client.wait_for_job(job["job_id"], timeout=30.0)
+            failed = excinfo.value.job
+            assert failed["state"] == "failed"
+            assert failed["attempts"] == 1  # terminal: never retried
+            assert failed["error_kind"] == "QuerySyntaxError"
+            status, _ = client.job_result(job["job_id"])
+            assert status == 500
+
+    def test_cancel_endpoint(self, service):
+        payload = _job_payload(nodes=NODES + 13, idempotency_key="cancel-me")
+        status, _, body = _request(service.port, "POST", "/v1/jobs", payload)
+        assert status == 202
+        job_id = json.loads(body)["job_id"]
+        status, _, body = _request(service.port, "DELETE",
+                                   f"/v1/jobs/{job_id}")
+        assert status == 200
+        with ServiceClient("127.0.0.1", service.port) as client:
+            final = None
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                final = client.job_status(job_id)
+                if final["state"] in ("succeeded", "failed", "cancelled"):
+                    break
+                time.sleep(0.05)
+            # Cooperative: either the cancel landed before/at a yield
+            # point, or the job finished first — both are terminal.
+            assert final["state"] in ("cancelled", "succeeded")
+            if final["state"] == "cancelled":
+                status, _, _ = _request(service.port, "GET",
+                                        f"/v1/jobs/{job_id}/result")
+                assert status == 410
+
+    def test_transient_fault_retried_with_backoff_succeeds(self, service):
+        """An injected fill fault fails attempt 1; the retry succeeds."""
+        payload = _job_payload(nodes=NODES + 29, seed=613,
+                               idempotency_key="chaos-retry")
+        retried = METRICS.counter("service.jobs.retried")
+        before = retried.value
+        with FAULTS.inject("session.graph_cache", InjectedFault, nth=1):
+            with ServiceClient("127.0.0.1", service.port) as client:
+                job = client.submit_job(payload)
+                done = client.wait_for_job(job["job_id"], timeout=30.0)
+        assert done["state"] == "succeeded"
+        assert done["attempts"] == 2  # failed once, retried, succeeded
+        assert retried.value == before + 1
+
+    def test_job_status_readable_while_draining(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            job = client.submit_job(_job_payload())
+            client.wait_for_job(job["job_id"], timeout=30.0)
+        app = service.app
+        assert not app.draining
+        app._draining.set()
+        try:
+            status = app.handle("GET", f"/v1/jobs/{job['job_id']}")
+            assert status.status == 200
+            result = app.handle("GET", f"/v1/jobs/{job['job_id']}/result")
+            assert result.status == 200
+            refused = app.handle("POST", "/v1/jobs", _job_payload())
+            assert refused.status == 503
+        finally:
+            app._draining.clear()
+
+
+# ---------------------------------------------------------------------------
+# Restart recovery: a real SIGKILL of a gmark serve subprocess
+# ---------------------------------------------------------------------------
+
+
+def _start_serve(journal: str, extra: list[str] | None = None):
+    """Spawn ``gmark serve`` on an ephemeral port; returns (proc, port)."""
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = {**os.environ, "PYTHONPATH": repo_src, "PYTHONUNBUFFERED": "1"}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--journal", journal, *(extra or [])],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env,
+    )
+    line = proc.stdout.readline()  # "serving on http://127.0.0.1:PORT ..."
+    assert "serving on http://" in line, line
+    port = int(line.split("http://127.0.0.1:", 1)[1].split()[0].rstrip("/"))
+    return proc, port
+
+
+class TestRestartRecovery:
+    def test_sigkill_midrun_then_restart_completes_identically(self, tmp_path):
+        journal = str(tmp_path / "jobs.ndjson")
+        # A transitive-closure query big enough (~1.5s) that SIGKILL
+        # reliably lands while the attempt is still running.
+        payload = {"scenario": "bib", "nodes": 100_000, "seed": 11,
+                   "query": "(?x, ?y) <- (?x, (extendedTo)*, ?y)"}
+
+        # Clean run first: the reference bytes.
+        proc, port = _start_serve(str(tmp_path / "clean.ndjson"))
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=120.0) as client:
+                job = client.submit_job(payload)
+                reference = client.fetch_result(job["job_id"], timeout=120.0)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+
+        # Interrupted run: SIGKILL the server while the job is running.
+        proc, port = _start_serve(journal)
+        killed_mid_run = False
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=120.0) as client:
+                job = client.submit_job(payload)
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    state = client.job_status(job["job_id"])["state"]
+                    if state in ("running", "succeeded"):
+                        killed_mid_run = state == "running"
+                        break
+                    time.sleep(0.01)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # Restart on the same journal: the job must complete and match.
+        proc, port = _start_serve(journal)
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=120.0,
+                               max_retries=8) as client:
+                recovered = client.fetch_result(job["job_id"], timeout=120.0)
+                status = client.job_status(job["job_id"])
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+
+        assert recovered == reference  # byte-identical across the crash
+        assert status["state"] == "succeeded"
+        # The run should normally have been interrupted mid-flight; if
+        # the tiny window was missed the assertion above still proves
+        # journal-served results, so only warn via the test name here.
+        assert killed_mid_run or status["recovered"]
